@@ -1,0 +1,45 @@
+// Command rldbench regenerates every table and figure of the paper's
+// evaluation (§6). With no arguments it runs the full suite in order;
+// pass experiment IDs to run a subset, or -list to see what's available.
+//
+//	rldbench                  # everything (a few minutes)
+//	rldbench -quick fig15a    # quick smoke of one experiment
+//	rldbench fig10 fig12      # specific figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rld"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink parameters for a fast smoke run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range rld.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = rld.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, ok := rld.RunExperiment(id, *quick)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rldbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Println(rld.FormatTables(tables))
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,84 @@
+// Command rldopt runs the RLD optimizer on an N-way join query and prints
+// the robust logical solution and the robust physical plan — the compile
+// time half of the paper, end to end.
+//
+//	rldopt -ops 5 -nodes 3 -capacity 80 -eps 0.1 -u 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"rld"
+)
+
+func main() {
+	ops := flag.Int("ops", 5, "number of query operators (N-way join)")
+	rate := flag.Float64("rate", 2, "estimated input rate per stream (tuples/sec)")
+	nodes := flag.Int("nodes", 3, "cluster size")
+	capacity := flag.Float64("capacity", 80, "per-node capacity (cost-units/sec)")
+	eps := flag.Float64("eps", 0.2, "robustness threshold ε")
+	u := flag.Int("u", 3, "uncertainty level U (±10%·U per Algorithm 1)")
+	selDims := flag.String("sel-dims", "", "comma-separated operator IDs with uncertain selectivity (default: first and second-to-last)")
+	rateDims := flag.String("rate-dims", "", "comma-separated stream names with uncertain rate")
+	logical := flag.String("logical", "erp", "logical algorithm: erp|wrp|es|rs")
+	physical := flag.String("physical", "optprune", "physical algorithm: greedy|optprune|exhaustive")
+	flag.Parse()
+
+	q := rld.NewNWayJoin(fmt.Sprintf("Q%dway", *ops), *ops, *rate)
+	var dims []rld.Dim
+	if *selDims == "" {
+		dims = append(dims,
+			rld.SelDim(0, q.Ops[0].Sel, *u),
+			rld.SelDim(*ops-2, q.Ops[*ops-2].Sel, *u))
+	} else {
+		for _, tok := range strings.Split(*selDims, ",") {
+			var id int
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &id); err != nil || id < 0 || id >= *ops {
+				log.Fatalf("bad -sel-dims entry %q", tok)
+			}
+			dims = append(dims, rld.SelDim(id, q.Ops[id].Sel, *u))
+		}
+	}
+	if *rateDims != "" {
+		for _, tok := range strings.Split(*rateDims, ",") {
+			name := strings.TrimSpace(tok)
+			base, ok := q.Rates[name]
+			if !ok {
+				log.Fatalf("unknown stream %q in -rate-dims (streams: %v)", name, q.Streams)
+			}
+			dims = append(dims, rld.RateDim(name, base, *u))
+		}
+	}
+
+	cfg := rld.DefaultConfig()
+	cfg.Robust.Epsilon = *eps
+	cfg.Logical = rld.LogicalAlgo(*logical)
+	cfg.Physical = rld.PhysicalAlgo(*physical)
+	cl := rld.NewCluster(*nodes, *capacity)
+
+	dep, err := rld.Optimize(q, dims, cl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %s (%d operators over %v)\n", q.Name, q.NumOps(), q.Streams)
+	fmt.Printf("parameter space: %d dims × %d steps (%d grid points)\n",
+		dep.Space.D(), dep.Space.Steps, dep.Space.NumPoints())
+	fmt.Printf("\nrobust logical solution (%s, ε=%.2f, %d optimizer calls):\n",
+		*logical, *eps, dep.Logical.Calls)
+	for _, rp := range dep.Logical.AllPlans() {
+		fmt.Printf("  %-50s weight=%.3f area=%d\n", rp.Plan, rp.Weight, rp.Area())
+	}
+	fmt.Printf("\nrobust physical plan (%s): score %.3f, %d/%d plans supported\n",
+		*physical, dep.Physical.Score, len(dep.Physical.Supported), len(dep.Plans))
+	for node, opsOnNode := range dep.Physical.Assign.NodeOps(cl.N()) {
+		names := make([]string, 0, len(opsOnNode))
+		for _, id := range opsOnNode {
+			names = append(names, q.Ops[id].Name)
+		}
+		fmt.Printf("  node %d: %s\n", node, strings.Join(names, ", "))
+	}
+}

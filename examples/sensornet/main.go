@@ -1,0 +1,88 @@
+// Sensornet correlates simulated Intel-lab sensor streams (temperature,
+// humidity, light, voltage) with a 4-way windowed join whose input rates
+// fluctuate in bursts. It compares the RLD deployment against the ROD and
+// DYN baselines on the discrete-event simulator — a miniature version of
+// the paper's §6.5 study that runs in milliseconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rld"
+)
+
+func main() {
+	// A 4-way join standing in for "correlate readings across sensor
+	// modalities within a 60 s window".
+	q := rld.NewNWayJoin("Sensors", 4, 10)
+	// Uncertainty: two operator selectivities (±40%) and every stream's
+	// rate (±50% — epoch bursts).
+	dims := []rld.Dim{
+		rld.SelDim(0, q.Ops[0].Sel, 4),
+		rld.SelDim(2, q.Ops[2].Sel, 4),
+	}
+	for _, s := range q.Streams {
+		dims = append(dims, rld.RateDim(s, q.Rates[s], 5))
+	}
+	cfg := rld.DefaultConfig()
+	cfg.Steps = 4 // coarse grid: 6-D space
+	cl := rld.NewCluster(3, 800)
+	dep, err := rld.Optimize(q, dims, cl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RLD: %d robust plans, %d supported by one placement\n",
+		dep.Logical.NumPlans(), len(dep.Physical.Supported))
+
+	// The simulated truth: bursty rates (30 s period) and drifting
+	// selectivities, all inside the declared space.
+	sc := &rld.Scenario{
+		Query:        dep.Query,
+		Rates:        map[string]rld.Profile{},
+		Sels:         make([]rld.Profile, len(q.Ops)),
+		Cluster:      cl,
+		Horizon:      1800, // 30 simulated minutes
+		BatchSize:    50,
+		SampleEvery:  5,
+		TickEvery:    5,
+		CountWindows: true,
+		Seed:         11,
+	}
+	for i, s := range q.Streams {
+		sc.Rates[s] = rld.SquareProfile{
+			Lo: q.Rates[s] * 0.55, Hi: q.Rates[s] * 1.45,
+			Period: 30, PhaseShift: float64(i) * 7,
+		}
+	}
+	for i := range sc.Sels {
+		sc.Sels[i] = rld.ConstProfile(q.Ops[i].Sel)
+	}
+	sc.Sels[0] = rld.SquareProfile{Lo: 0.19, Hi: 0.41, Period: 120}
+	sc.Sels[2] = rld.SquareProfile{Lo: 0.27, Hi: 0.59, Period: 120, PhaseShift: 60}
+
+	rod, err := rld.NewROD(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, err := rld.NewDYN(dep, rld.DefaultDYNConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n30 simulated minutes under bursty sensor load:")
+	fmt.Printf("%-6s %14s %14s %12s %12s\n", "policy", "latency(ms)", "produced", "migrations", "overhead")
+	for _, pol := range []rld.Policy{rod, dyn, dep.NewPolicy(sc.BatchSize)} {
+		scCopy := *sc
+		res, err := rld.Run(&scCopy, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %14.1f %14.0f %12d %11.1f%%\n",
+			res.Policy, res.Latency.MeanMS(), res.Produced,
+			res.Migrations, 100*res.OverheadRatio())
+	}
+	fmt.Println("\nRLD holds the lowest latency with zero migrations; DYN pays")
+	fmt.Println("suspension downtime chasing the bursts; ROD executes a single")
+	fmt.Println("ordering that is wrong half of the time.")
+}

@@ -1,0 +1,120 @@
+// Stockmonitor runs the paper's motivating scenario (Example 1) on the live
+// goroutine engine: a stock-monitoring query whose pattern-match selectivity
+// inverts when the market flips between bullish and bearish regimes. The
+// RLD deployment switches logical plans per batch while the operator
+// placement never changes — the behaviour the lower half of the paper's
+// Figure 2 illustrates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rld"
+)
+
+// demoQuery builds the Example-1-style query: op1 matches bullish patterns
+// on Stock (selectivity swings with the market), op2 filters News relevance
+// (stable), op3 joins with Research within the window (highly selective).
+func demoQuery() *rld.Query {
+	q := &rld.Query{
+		Name:          "StockMonitor",
+		Streams:       []string{"Stock", "News", "Research"},
+		Rates:         map[string]float64{"Stock": 2, "News": 2, "Research": 2},
+		WindowSeconds: 60,
+	}
+	q.Ops = []rld.Operator{
+		{ID: 0, Name: "op1", Kind: rld.OpSelect, Cost: 3.0, Sel: 0.40, Stream: "Stock"},
+		{ID: 1, Name: "op2", Kind: rld.OpSelect, Cost: 2.0, Sel: 0.50, Stream: "News"},
+		{ID: 2, Name: "op3", Kind: rld.OpJoin, Cost: 1.0, Sel: 0.02, Stream: "Research"},
+	}
+	return q
+}
+
+func main() {
+	q := demoQuery()
+	fmt.Printf("query %s over %v\n", q.Name, q.Streams)
+
+	// The market swings op1's pattern-match selectivity by ±50% around
+	// its 0.40 estimate: bullish markets match often (δ1→0.6), bearish
+	// ones rarely (δ1→0.2) — crossing op2's rank, which flips the
+	// optimal ordering exactly as Example 1 describes.
+	dims := []rld.Dim{rld.SelDim(0, q.Ops[0].Sel, 5)}
+	cl := rld.NewCluster(2, 80)
+	cfg := rld.DefaultConfig()
+	cfg.Robust.Epsilon = 0.01 // tight bound → both orderings in LPi
+	dep, err := rld.Optimize(q, dims, cl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("robust solution: %d plans; physical plan supports %d:\n",
+		dep.Logical.NumPlans(), len(dep.Physical.Supported))
+	for _, rp := range dep.Logical.AllPlans() {
+		fmt.Printf("  %v (weight %.3f)\n", rp.Plan, rp.Weight)
+	}
+
+	eng, err := rld.NewEngine(dep, rld.DefaultEngineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Start()
+
+	// Feed the engine through alternating market regimes. Stock payload
+	// values shift location between regimes, which moves op1's true pass
+	// rate across its declared range.
+	rng := rand.New(rand.NewSource(7))
+	const batchSize = 40
+	const batchesPerRegime = 60
+	ts := 0.0
+	seq := map[string]uint64{}
+	makeBatch := func(streamName string, bull bool) *rld.Batch {
+		b := &rld.Batch{Stream: streamName}
+		for j := 0; j < batchSize; j++ {
+			ts += 0.005
+			v := rng.Float64() * 100 // pass fraction at threshold 40: 0.40
+			if streamName == "Stock" {
+				if bull {
+					v = rng.Float64()*100 - 20 // bull: ≈0.60 pass rate
+				} else {
+					v = rng.Float64()*100 + 20 // bear: ≈0.20 pass rate
+				}
+			}
+			b.Tuples = append(b.Tuples, &rld.Tuple{
+				Stream:  streamName,
+				Seq:     seq[streamName],
+				Ts:      rld.Time(ts),
+				Key:     rng.Int63n(500),
+				Vals:    []float64{v},
+				Arrival: rld.Time(ts),
+			})
+			seq[streamName]++
+		}
+		return b
+	}
+
+	for regime := 0; regime < 4; regime++ {
+		bull := regime%2 == 0
+		for i := 0; i < batchesPerRegime; i++ {
+			for _, s := range q.Streams {
+				if err := eng.Ingest(makeBatch(s, bull)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	res := eng.Stop()
+
+	fmt.Printf("\ningested %d tuples in %d batches, produced %d results\n",
+		res.Ingested, res.Batches, res.Produced)
+	fmt.Printf("mean batch latency: %.2f ms\n", res.MeanLatencyMS)
+	fmt.Println("plan usage across regimes (plan → batches):")
+	for k, n := range res.PlanUse {
+		fmt.Printf("  [%s]: %d\n", k, n)
+	}
+	fmt.Printf("observed selectivities: %.3f\n", res.ObservedSels)
+	if len(res.PlanUse) > 1 {
+		fmt.Println("→ the classifier switched orderings as the market flipped,")
+		fmt.Println("  with zero operator migrations.")
+	}
+}

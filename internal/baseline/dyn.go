@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"fmt"
+
+	"rld/internal/cluster"
+	"rld/internal/cost"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/sim"
+	"rld/internal/stats"
+)
+
+// DYNConfig tunes the dynamic load-distribution baseline.
+type DYNConfig struct {
+	// ImbalanceFactor triggers a migration when the hottest node's queued
+	// work exceeds this multiple of the coldest node's (Borealis balances
+	// load variance across node pairs).
+	ImbalanceFactor float64
+	// ActivationFloor is the minimum hot-node queued work (cost-units)
+	// before migration is considered; avoids thrashing on idle systems.
+	ActivationFloor float64
+	// SuspendSeconds is the fixed operator-suspension cost per migration.
+	SuspendSeconds float64
+	// StateTransferPerTuple is the seconds per window-state tuple moved.
+	StateTransferPerTuple float64
+	// DecisionWork is the per-tick statistics/decision cost in
+	// cost-units (continuous statistics maintenance, §6.5).
+	DecisionWork float64
+	// CooldownSeconds is the per-operator minimum time between moves
+	// (anti-thrash guard).
+	CooldownSeconds float64
+}
+
+// DefaultDYNConfig returns the defaults used by the experiments.
+func DefaultDYNConfig() DYNConfig {
+	return DYNConfig{
+		ImbalanceFactor:       2.5,
+		ActivationFloor:       50,
+		SuspendSeconds:        0.25,
+		StateTransferPerTuple: 0.002,
+		DecisionWork:          5,
+		CooldownSeconds:       30,
+	}
+}
+
+// DYN is the dynamic load-distribution policy: a single compile-time logical
+// plan, an LLF initial placement at the estimate point, and a periodic
+// controller that migrates the heaviest operator off the most loaded node
+// whenever the load imbalance crosses the configured factor. Migrations
+// suspend the operator for the suspension time plus window-state transfer
+// (state size ∝ stream rate × window length).
+type DYN struct {
+	cfg    DYNConfig
+	ev     *cost.Evaluator
+	plan   query.Plan
+	assign physical.Assignment
+	// lastMove prevents ping-ponging one operator every tick.
+	lastMove map[int]float64
+	cooldown float64
+}
+
+// NewDYN builds the DYN policy.
+func NewDYN(ev *cost.Evaluator, cl *cluster.Cluster, cfg DYNConfig) (*DYN, error) {
+	plan, center := centerPlan(ev)
+	assign, ok := physical.LLF(ev.OpLoads(plan, center), cl)
+	if !ok {
+		return nil, fmt.Errorf("baseline: DYN cannot place %d ops on %v", len(ev.Query().Ops), cl)
+	}
+	if cfg.ImbalanceFactor <= 1 {
+		cfg.ImbalanceFactor = 2
+	}
+	cooldown := cfg.CooldownSeconds
+	if cooldown <= 0 {
+		cooldown = 30
+	}
+	return &DYN{
+		cfg:      cfg,
+		ev:       ev,
+		plan:     plan,
+		assign:   assign,
+		lastMove: make(map[int]float64),
+		cooldown: cooldown,
+	}, nil
+}
+
+// Name implements sim.Policy.
+func (d *DYN) Name() string { return "DYN" }
+
+// Placement implements sim.Policy.
+func (d *DYN) Placement() physical.Assignment { return d.assign.Clone() }
+
+// PlanFor implements sim.Policy: DYN never reorders the logical plan —
+// "load migration only changes the operators' physical layout" (§6.5).
+func (d *DYN) PlanFor(float64, stats.Snapshot) query.Plan { return d.plan }
+
+// ClassifyOverhead implements sim.Policy.
+func (d *DYN) ClassifyOverhead() float64 { return 0 }
+
+// DecisionOverhead implements sim.Policy.
+func (d *DYN) DecisionOverhead() float64 { return d.cfg.DecisionWork }
+
+// migrationDowntime estimates the pause for moving op: suspension plus
+// window-state transfer (state tuples ≈ stream rate × window seconds).
+func (d *DYN) migrationDowntime(op int) float64 {
+	q := d.ev.Query()
+	o := q.Ops[op]
+	stateTuples := 0.0
+	if o.Stream != "" {
+		stateTuples = q.Rates[o.Stream] * q.WindowSeconds
+	}
+	return d.cfg.SuspendSeconds + d.cfg.StateTransferPerTuple*stateTuples
+}
+
+// Rebalance implements sim.Policy: move the heaviest operator from the
+// hottest node to the coldest when imbalance crosses the factor.
+func (d *DYN) Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *sim.Migration {
+	d.assign = assign.Clone()
+	if len(nodeLoads) < 2 {
+		return nil
+	}
+	hot, cold := 0, 0
+	for i, l := range nodeLoads {
+		if l > nodeLoads[hot] {
+			hot = i
+		}
+		if l < nodeLoads[cold] {
+			cold = i
+		}
+	}
+	if nodeLoads[hot] < d.cfg.ActivationFloor {
+		return nil
+	}
+	if nodeLoads[hot] < d.cfg.ImbalanceFactor*(nodeLoads[cold]+1e-9) {
+		return nil
+	}
+	// Heaviest operator on the hot node (by estimate loads under the
+	// fixed plan) that has not just moved.
+	center := d.ev.Space().At(d.ev.Space().Center())
+	loads := d.ev.OpLoads(d.plan, center)
+	best, bestLoad := -1, 0.0
+	for op, nd := range assign {
+		if nd != hot {
+			continue
+		}
+		if t-d.lastMove[op] < d.cooldown {
+			continue
+		}
+		if loads[op] > bestLoad {
+			best, bestLoad = op, loads[op]
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	d.lastMove[best] = t
+	d.assign[best] = cold
+	return &sim.Migration{Op: best, To: cold, Downtime: d.migrationDowntime(best)}
+}
+
+// Plan exposes the fixed logical plan.
+func (d *DYN) Plan() query.Plan { return d.plan.Clone() }
+
+var _ sim.Policy = (*DYN)(nil)

@@ -1,0 +1,90 @@
+// Package baseline reimplements the two comparison systems of §6.5:
+//
+//   - ROD — resilient operator distribution (Xing et al., VLDB'06): a static
+//     placement chosen to stay feasible across workload fluctuations, but a
+//     single fixed logical plan and no runtime adaptation;
+//   - DYN — dynamic load distribution (Borealis; Xing et al., ICDE'05):
+//     periodic operator migration off overloaded nodes, with suspension and
+//     state-transfer downtime, again on a single logical plan.
+//
+// Both are faithful to the paper's characterization: "neither ROD nor DYN
+// guarantees any optimality of logical query plans since load migration only
+// changes the operators' physical layout" (§6.5).
+package baseline
+
+import (
+	"fmt"
+
+	"rld/internal/cluster"
+	"rld/internal/cost"
+	"rld/internal/optimizer"
+	"rld/internal/paramspace"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/sim"
+	"rld/internal/stats"
+)
+
+// ROD is the resilient-operator-distribution policy: one logical plan
+// (optimal at the estimate point) and one placement sized against the
+// worst-case corner of the known fluctuation range, so the layout stays
+// feasible as long as statistics remain inside the space — but processing
+// always follows the single compile-time plan ordering.
+type ROD struct {
+	plan   query.Plan
+	assign physical.Assignment
+}
+
+// NewROD builds the ROD policy for a query over the declared parameter
+// space and cluster. It fails only if even the estimate-point loads cannot
+// be placed.
+func NewROD(ev *cost.Evaluator, cl *cluster.Cluster) (*ROD, error) {
+	space := ev.Space()
+	center := space.At(space.Center())
+	plan, _ := optimizer.NewRank(ev).Best(center)
+
+	// Resilience: place against the top-corner (worst known) loads; fall
+	// back to estimate-point loads when the worst case is infeasible —
+	// ROD then "keeps the system feasible" only for smaller deviations.
+	worst := ev.OpLoads(plan, space.At(space.FullRegion().Hi))
+	assign, ok := physical.LLF(worst, cl)
+	if !ok {
+		assign, ok = physical.LLF(ev.OpLoads(plan, center), cl)
+		if !ok {
+			return nil, fmt.Errorf("baseline: ROD cannot place %d ops on %v", len(worst), cl)
+		}
+	}
+	return &ROD{plan: plan, assign: assign}, nil
+}
+
+// Name implements sim.Policy.
+func (r *ROD) Name() string { return "ROD" }
+
+// Placement implements sim.Policy.
+func (r *ROD) Placement() physical.Assignment { return r.assign.Clone() }
+
+// PlanFor implements sim.Policy: always the compile-time plan.
+func (r *ROD) PlanFor(float64, stats.Snapshot) query.Plan { return r.plan }
+
+// ClassifyOverhead implements sim.Policy: ROD has no runtime overhead
+// beyond query processing (§6.5).
+func (r *ROD) ClassifyOverhead() float64 { return 0 }
+
+// Rebalance implements sim.Policy: ROD never migrates.
+func (r *ROD) Rebalance(float64, []float64, physical.Assignment) *sim.Migration { return nil }
+
+// DecisionOverhead implements sim.Policy.
+func (r *ROD) DecisionOverhead() float64 { return 0 }
+
+// Plan exposes the fixed logical plan (for tests and reports).
+func (r *ROD) Plan() query.Plan { return r.plan.Clone() }
+
+var _ sim.Policy = (*ROD)(nil)
+
+// centerPlan is shared by DYN.
+func centerPlan(ev *cost.Evaluator) (query.Plan, paramspace.Point) {
+	space := ev.Space()
+	center := space.At(space.Center())
+	p, _ := optimizer.NewRank(ev).Best(center)
+	return p, center
+}

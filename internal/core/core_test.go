@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rld/internal/cluster"
+	"rld/internal/gen"
+	"rld/internal/paramspace"
+	"rld/internal/query"
+	"rld/internal/sim"
+	"rld/internal/stats"
+)
+
+func fixtureDims(q *query.Query) []paramspace.Dim {
+	return []paramspace.Dim{
+		paramspace.SelDim(0, q.Ops[0].Sel, 3),
+		paramspace.SelDim(3, q.Ops[3].Sel, 3),
+	}
+}
+
+func deploy(t *testing.T, cfg Config) *Deployment {
+	t.Helper()
+	q := query.NewNWayJoin("Q1", 5, 2)
+	cl := cluster.NewHomogeneous(3, 60)
+	d, err := Optimize(q, fixtureDims(q), cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	d := deploy(t, DefaultConfig())
+	if d.Logical.NumPlans() == 0 {
+		t.Fatal("no robust plans")
+	}
+	if d.Physical == nil || !d.Physical.Assign.Complete() {
+		t.Fatal("no complete physical plan")
+	}
+	if len(d.Physical.Supported) == 0 {
+		t.Fatal("physical plan supports nothing")
+	}
+	if len(d.SupportedPlans()) != len(d.Physical.Supported) {
+		t.Fatal("SupportedPlans arity mismatch")
+	}
+	// Every supported plan obeys Def. 3 on the cluster.
+	for _, lp := range d.SupportedPlans() {
+		if !d.Physical.Assign.Supports(lp, d.Cluster) {
+			t.Fatalf("claimed support violates capacity: %v", lp.Plan)
+		}
+	}
+}
+
+func TestOptimizeAllAlgorithmCombos(t *testing.T) {
+	for _, la := range []LogicalAlgo{LogicalERP, LogicalWRP, LogicalES, LogicalRS} {
+		for _, pa := range []PhysicalAlgo{PhysicalGreedy, PhysicalOptPrune, PhysicalExhaustive} {
+			cfg := DefaultConfig()
+			cfg.Logical = la
+			cfg.Physical = pa
+			cfg.Steps = 8
+			d := deploy(t, cfg)
+			if d.Physical == nil {
+				t.Fatalf("%s/%s produced no plan", la, pa)
+			}
+		}
+	}
+}
+
+func TestOptimizeRejectsBadInputs(t *testing.T) {
+	q := query.NewNWayJoin("Q", 3, 2)
+	cl := cluster.NewHomogeneous(2, 100)
+	if _, err := Optimize(q, nil, cl, DefaultConfig()); err == nil {
+		t.Fatal("no dims must error")
+	}
+	bad := query.NewNWayJoin("Q", 3, 2)
+	bad.Ops[0].Cost = -1
+	if _, err := Optimize(bad, fixtureDimsFor(bad), cl, DefaultConfig()); err == nil {
+		t.Fatal("invalid query must error")
+	}
+	cfg := DefaultConfig()
+	cfg.Logical = "nope"
+	if _, err := Optimize(q, fixtureDimsFor(q), cl, cfg); err == nil {
+		t.Fatal("unknown logical algo must error")
+	}
+	cfg = DefaultConfig()
+	cfg.Physical = "nope"
+	if _, err := Optimize(q, fixtureDimsFor(q), cl, cfg); err == nil {
+		t.Fatal("unknown physical algo must error")
+	}
+	// Impossible capacity.
+	tiny := cluster.NewHomogeneous(1, 1e-9)
+	if _, err := Optimize(q, fixtureDimsFor(q), tiny, DefaultConfig()); err == nil {
+		t.Fatal("infeasible cluster must error")
+	} else if !strings.Contains(err.Error(), "feasible") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func fixtureDimsFor(q *query.Query) []paramspace.Dim {
+	return []paramspace.Dim{
+		paramspace.SelDim(0, 0.4, 2),
+		paramspace.SelDim(1, 0.5, 2),
+	}
+}
+
+func TestClassifyTracksStatistics(t *testing.T) {
+	// A tight ε forces a multi-plan certified partition, so the two
+	// corners of the space fall in different plans' regions.
+	cfg := DefaultConfig()
+	cfg.Robust.Epsilon = 0.05
+	d := deploy(t, cfg)
+	lo := stats.Snapshot{Sels: sels(d, 0), Rates: map[string]float64{}}
+	hi := stats.Snapshot{Sels: sels(d, d.Space.Steps-1), Rates: map[string]float64{}}
+	planLo, idxLo := d.Classify(lo)
+	planHi, idxHi := d.Classify(hi)
+	if planLo == nil || planHi == nil {
+		t.Fatal("classification failed")
+	}
+	if len(d.Physical.Supported) > 1 && idxLo == idxHi {
+		// With ε=5% the corner orderings differ; require the classifier
+		// to react.
+		t.Fatalf("classifier ignored statistics: %v vs %v", planLo, planHi)
+	}
+	// The chosen plan must always be ε-competitive at the snap point.
+	pnt := d.snapPoint(lo)
+	best := math.Inf(1)
+	for _, lp := range d.SupportedPlans() {
+		if c := d.Ev.PlanCost(lp.Plan, pnt); c < best {
+			best = c
+		}
+	}
+	if got := d.Ev.PlanCost(planLo, pnt); got > best*(1+d.cfg.Robust.Epsilon)+1e-9 {
+		t.Fatalf("classified plan cost %v not ε-competitive with %v", got, best)
+	}
+}
+
+// sels builds a snapshot selectivity vector pinned to grid index k for the
+// space's selectivity dims.
+func sels(d *Deployment, k int) []float64 {
+	out := make([]float64, len(d.Query.Ops))
+	for i := range out {
+		out[i] = d.Query.Ops[i].Sel
+	}
+	for j, dim := range d.Space.Dims {
+		if dim.Kind == paramspace.Selectivity {
+			out[dim.Op] = d.Space.Value(j, k)
+		}
+	}
+	return out
+}
+
+func TestClassifyClampsOutOfRangeStats(t *testing.T) {
+	d := deploy(t, DefaultConfig())
+	snap := stats.Snapshot{Sels: make([]float64, len(d.Query.Ops)), Rates: map[string]float64{}}
+	for i := range snap.Sels {
+		snap.Sels[i] = 5.0 // far outside the space
+	}
+	plan, idx := d.Classify(snap)
+	if plan == nil || idx < 0 {
+		t.Fatal("classification must survive out-of-range statistics")
+	}
+}
+
+func TestClassifyOverheadSmall(t *testing.T) {
+	d := deploy(t, DefaultConfig())
+	work := d.ClassifyOverheadWork(100)
+	if work <= 0 {
+		t.Fatal("classification work should be positive")
+	}
+	// ≈2% of a 100-tuple batch's pipeline work at the center.
+	center := d.Space.At(d.Space.Center())
+	plan, _ := d.Classify(stats.Snapshot{Sels: sels(d, d.Space.Steps/2), Rates: map[string]float64{}})
+	batchWork := 0.0
+	carry := 1.0
+	for _, op := range plan {
+		batchWork += d.Ev.UnitCost(op, center) * carry * 100
+		carry *= d.Ev.Sel(op, center)
+	}
+	ratio := work / batchWork
+	if ratio < 0.005 || ratio > 0.1 {
+		t.Fatalf("classify overhead ratio %v outside sane band", ratio)
+	}
+}
+
+func TestPolicyImplementsSimPolicy(t *testing.T) {
+	d := deploy(t, DefaultConfig())
+	pol := d.NewPolicy(100)
+	if pol.Name() != "RLD" {
+		t.Fatal("name wrong")
+	}
+	if !pol.Placement().Complete() {
+		t.Fatal("placement incomplete")
+	}
+	if pol.Rebalance(0, nil, nil) != nil {
+		t.Fatal("RLD must never migrate")
+	}
+	if pol.DecisionOverhead() != 0 {
+		t.Fatal("RLD has no controller overhead")
+	}
+	if pol.ClassifyOverhead() <= 0 {
+		t.Fatal("RLD classification overhead missing")
+	}
+	snap := stats.Snapshot{Sels: sels(d, 0), Rates: map[string]float64{}}
+	if pol.PlanFor(0, snap) == nil {
+		t.Fatal("PlanFor returned nil")
+	}
+}
+
+func TestRLDPolicyRunsInSimulator(t *testing.T) {
+	d := deploy(t, DefaultConfig())
+	sc := &sim.Scenario{
+		Query:       d.Query,
+		Rates:       map[string]gen.Profile{},
+		Sels:        make([]gen.Profile, len(d.Query.Ops)),
+		Cluster:     d.Cluster,
+		Horizon:     300,
+		BatchSize:   20,
+		SampleEvery: 5,
+		TickEvery:   5,
+		Seed:        3,
+	}
+	for _, s := range d.Query.Streams {
+		sc.Rates[s] = gen.ConstProfile(d.Query.Rates[s])
+	}
+	for i := range sc.Sels {
+		sc.Sels[i] = gen.ConstProfile(d.Query.Ops[i].Sel)
+	}
+	res, err := sim.Run(sc, d.NewPolicy(sc.BatchSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Produced == 0 {
+		t.Fatal("RLD produced nothing")
+	}
+	if res.Migrations != 0 {
+		t.Fatal("RLD migrated")
+	}
+	// §6.5: classification overhead ≈2% of execution.
+	if r := res.OverheadRatio(); r <= 0 || r > 0.1 {
+		t.Fatalf("overhead ratio %v outside expected band", r)
+	}
+}
+
+func TestDefaultConfigValues(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Logical != LogicalERP || cfg.Physical != PhysicalOptPrune {
+		t.Fatal("defaults wrong")
+	}
+	if cfg.ClassifyFraction != 0.02 {
+		t.Fatal("classification fraction should default to 2%")
+	}
+	if cfg.Steps != paramspace.DefaultSteps {
+		t.Fatal("steps default wrong")
+	}
+}

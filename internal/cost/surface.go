@@ -1,0 +1,159 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"rld/internal/paramspace"
+)
+
+// Surface is a fitted multilinear cost surface over a d-dimensional
+// parameter space:
+//
+//	f(x) = Σ_{T ⊆ {1..d}} coef[T] · Π_{i∈T} x_i
+//
+// For d=2 this is exactly the paper's §2.3 model
+// c1·σi + c2·σj + c3·σi·σj + c4. Surfaces are produced by FitSurface via
+// least squares ("standard surface-fitting techniques").
+type Surface struct {
+	// D is the dimensionality.
+	D int
+	// Coef holds one coefficient per subset of dimensions; Coef[m] is the
+	// coefficient of Π_{i: bit i of m set} x_i. Coef[0] is the constant.
+	Coef []float64
+}
+
+// Eval evaluates the surface at x.
+func (s *Surface) Eval(x paramspace.Point) float64 {
+	total := 0.0
+	for m, c := range s.Coef {
+		term := c
+		for i := 0; i < s.D; i++ {
+			if m&(1<<i) != 0 {
+				term *= x[i]
+			}
+		}
+		total += term
+	}
+	return total
+}
+
+// FitSurface fits the multilinear model to (points, costs) samples by
+// ordinary least squares (normal equations solved with partial-pivot
+// Gaussian elimination). It needs at least 2^d samples in general position.
+func FitSurface(d int, points []paramspace.Point, costs []float64) (*Surface, error) {
+	if d < 1 || d > 16 {
+		return nil, fmt.Errorf("cost: surface dimension %d out of range", d)
+	}
+	if len(points) != len(costs) {
+		return nil, fmt.Errorf("cost: %d points but %d costs", len(points), len(costs))
+	}
+	nTerms := 1 << d
+	if len(points) < nTerms {
+		return nil, fmt.Errorf("cost: need ≥%d samples for %d dims, have %d", nTerms, d, len(points))
+	}
+	// Design matrix row for a point: all subset products.
+	row := func(x paramspace.Point) []float64 {
+		r := make([]float64, nTerms)
+		for m := 0; m < nTerms; m++ {
+			term := 1.0
+			for i := 0; i < d; i++ {
+				if m&(1<<i) != 0 {
+					term *= x[i]
+				}
+			}
+			r[m] = term
+		}
+		return r
+	}
+	// Normal equations: (XᵀX) β = Xᵀy.
+	ata := make([][]float64, nTerms)
+	for i := range ata {
+		ata[i] = make([]float64, nTerms)
+	}
+	aty := make([]float64, nTerms)
+	for k, x := range points {
+		r := row(x)
+		for i := 0; i < nTerms; i++ {
+			aty[i] += r[i] * costs[k]
+			for j := 0; j < nTerms; j++ {
+				ata[i][j] += r[i] * r[j]
+			}
+		}
+	}
+	beta, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &Surface{D: d, Coef: beta}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (mutated)
+// copy of the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best, bestAbs := col, math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m[r][col]); abs > bestAbs {
+				best, bestAbs = r, abs
+			}
+		}
+		if bestAbs < 1e-12 {
+			return nil, fmt.Errorf("cost: singular normal matrix at column %d", col)
+		}
+		m[col], m[best] = m[best], m[col]
+		x[col], x[best] = x[best], x[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] /= m[i][i]
+	}
+	return x, nil
+}
+
+// RSquared returns the coefficient of determination of the surface against
+// the samples (1 = perfect fit).
+func (s *Surface) RSquared(points []paramspace.Point, costs []float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, c := range costs {
+		mean += c
+	}
+	mean /= float64(len(costs))
+	var ssRes, ssTot float64
+	for i, x := range points {
+		d := costs[i] - s.Eval(x)
+		ssRes += d * d
+		dt := costs[i] - mean
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,405 @@
+// Package engine is a live, goroutine-per-node dataflow engine: the
+// in-process stand-in for the paper's D-CAPE cluster used by the runnable
+// examples. Each simulated node is a worker goroutine with an inbox channel;
+// batches of real tuples flow through selection and windowed symmetric-hash
+// join operators in the order of their assigned logical plan, hopping
+// between nodes according to the robust physical plan. A QueryMesh-style
+// router assigns each batch its plan from the latest monitored statistics —
+// the RLD runtime of §3, executed on real data.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/stats"
+	"rld/internal/stream"
+)
+
+// PlanChooser selects a logical plan for each batch given fresh statistics
+// (core.Deployment.Classify satisfies this via an adapter; fixed-plan
+// baselines use StaticChooser).
+type PlanChooser interface {
+	Choose(snap stats.Snapshot) query.Plan
+}
+
+// StaticChooser always returns one plan.
+type StaticChooser struct{ Plan query.Plan }
+
+// Choose implements PlanChooser.
+func (s StaticChooser) Choose(stats.Snapshot) query.Plan { return s.Plan }
+
+// ChooserFunc adapts a function to PlanChooser.
+type ChooserFunc func(snap stats.Snapshot) query.Plan
+
+// Choose implements PlanChooser.
+func (f ChooserFunc) Choose(snap stats.Snapshot) query.Plan { return f(snap) }
+
+// Config tunes the engine.
+type Config struct {
+	// InboxSize is the per-node channel buffer (backpressure bound).
+	InboxSize int
+	// SelectThresholdScale maps operator selectivity estimates to value
+	// thresholds: a Select op passes tuples with Vals[0] <
+	// Sel×Scale (Uniform(0,100) payloads → Scale 100).
+	SelectThresholdScale float64
+	// MaxFanout caps join results per probe to bound memory under hot
+	// keys (0 = unlimited).
+	MaxFanout int
+}
+
+// DefaultConfig returns sensible example defaults.
+func DefaultConfig() Config {
+	return Config{InboxSize: 1024, SelectThresholdScale: 100, MaxFanout: 64}
+}
+
+// message is one batch at one pipeline stage.
+type message struct {
+	partials []*stream.Joined
+	plan     query.Plan
+	stage    int
+	ingress  time.Time
+	tuples   int // original batch size, for latency weighting
+}
+
+// opState is the runtime state of one operator (window + observed
+// selectivity counters), owned by the node hosting it.
+type opState struct {
+	mu     sync.Mutex
+	op     query.Operator
+	window *stream.Window
+	in     float64
+	out    float64
+}
+
+// observedSel returns the operator's observed selectivity (estimate until
+// data arrives).
+func (s *opState) observedSel() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.in < 32 {
+		return s.op.Sel
+	}
+	return s.out / s.in
+}
+
+// Results summarizes an engine run.
+type Results struct {
+	// Produced is the number of join results emitted.
+	Produced int64
+	// Ingested is the number of source tuples admitted.
+	Ingested int64
+	// Batches is the number of batches routed.
+	Batches int64
+	// MeanLatencyMS is the mean ingress→sink latency per batch.
+	MeanLatencyMS float64
+	// PlanUse counts batches per logical plan key.
+	PlanUse map[string]int64
+	// ObservedSels reports the monitor's final per-op selectivities.
+	ObservedSels []float64
+}
+
+// Engine executes one continuous query across simulated nodes.
+type Engine struct {
+	q       *query.Query
+	assign  physical.Assignment
+	chooser PlanChooser
+	cfg     Config
+	monitor *stats.Monitor
+
+	nodes   []chan *message
+	ops     []*opState
+	wg      sync.WaitGroup
+	pending int64 // in-flight messages, for Drain
+
+	mu         sync.Mutex
+	produced   int64
+	ingested   int64
+	batches    int64
+	latencySum float64
+	planUse    map[string]int64
+	rateCount  map[string]float64
+	started    bool
+	stopped    bool
+}
+
+// New builds an engine for query q with operator placement assign over
+// nNodes nodes.
+func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanChooser, cfg Config) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if !assign.Complete() || len(assign) != len(q.Ops) {
+		return nil, fmt.Errorf("engine: incomplete placement")
+	}
+	for _, n := range assign {
+		if n < 0 || n >= nNodes {
+			return nil, fmt.Errorf("engine: placement references node %d of %d", n, nNodes)
+		}
+	}
+	if cfg.InboxSize < 1 {
+		cfg.InboxSize = 1024
+	}
+	if cfg.SelectThresholdScale <= 0 {
+		cfg.SelectThresholdScale = 100
+	}
+	e := &Engine{
+		q:         q,
+		assign:    assign.Clone(),
+		chooser:   chooser,
+		cfg:       cfg,
+		monitor:   stats.NewMonitor(len(q.Ops), 0.5, 0),
+		planUse:   make(map[string]int64),
+		rateCount: make(map[string]float64),
+	}
+	for i := range q.Ops {
+		e.ops = append(e.ops, &opState{
+			op:     q.Ops[i],
+			window: stream.NewWindow(q.WindowSeconds),
+		})
+	}
+	for i := 0; i < nNodes; i++ {
+		e.nodes = append(e.nodes, make(chan *message, cfg.InboxSize))
+	}
+	return e, nil
+}
+
+// Start launches the node workers.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	for i := range e.nodes {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+}
+
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	for msg := range e.nodes[id] {
+		e.process(msg)
+		atomic.AddInt64(&e.pending, -1)
+	}
+}
+
+// send routes a message to the node hosting its current stage's operator.
+// A worker forwarding to its own (or any full) inbox must not block — that
+// would deadlock the pipeline — so full inboxes fall back to an async send;
+// Drain still accounts for the message via the pending counter.
+func (e *Engine) send(msg *message) {
+	op := msg.plan[msg.stage]
+	atomic.AddInt64(&e.pending, 1)
+	ch := e.nodes[e.assign[op]]
+	select {
+	case ch <- msg:
+	default:
+		go func() { ch <- msg }()
+	}
+}
+
+// process executes one stage and forwards or sinks the batch.
+func (e *Engine) process(msg *message) {
+	op := msg.plan[msg.stage]
+	st := e.ops[op]
+	var out []*stream.Joined
+	switch st.op.Kind {
+	case query.Select:
+		threshold := st.op.Sel * e.cfg.SelectThresholdScale
+		ownIn, ownOut := 0, 0
+		for _, p := range msg.partials {
+			t := p.Parts[st.op.Stream]
+			if t == nil || len(t.Vals) == 0 {
+				// Pass-through: the predicate applies to another
+				// stream's tuples.
+				out = append(out, p)
+				continue
+			}
+			ownIn++
+			if t.Vals[0] < threshold {
+				out = append(out, p)
+				ownOut++
+			}
+		}
+		// Selections report the pass fraction over their own stream's
+		// tuples only; pass-throughs would dilute the signal the
+		// classifier needs.
+		st.mu.Lock()
+		st.in += float64(ownIn)
+		st.out += float64(ownOut)
+		st.mu.Unlock()
+	case query.Join:
+		st.mu.Lock()
+		pairs, hits := 0.0, 0.0
+		for _, p := range msg.partials {
+			if own := p.Parts[st.op.Stream]; own != nil {
+				// Probing the operator of the batch's own stream:
+				// trivially satisfied.
+				out = append(out, p)
+				continue
+			}
+			key := anyKey(p)
+			matches := st.window.Probe(key)
+			pairs += float64(st.window.Len())
+			hits += float64(len(matches))
+			n := len(matches)
+			if e.cfg.MaxFanout > 0 && n > e.cfg.MaxFanout {
+				n = e.cfg.MaxFanout
+			}
+			for _, m := range matches[:n] {
+				out = append(out, p.Extend(m))
+			}
+		}
+		// Joins report the per-pair match probability (hits over pairs
+		// examined) rather than raw fanout, so observed selectivities
+		// stay in [0,1] and remain comparable with the optimizer's
+		// estimates.
+		st.in += pairs
+		st.out += hits
+		st.mu.Unlock()
+	}
+
+	if len(out) == 0 || msg.stage == len(msg.plan)-1 {
+		e.sink(msg, out)
+		return
+	}
+	msg.partials = out
+	msg.stage++
+	e.send(msg)
+}
+
+// anyKey returns the join key shared by a partial result's tuples.
+func anyKey(p *stream.Joined) int64 {
+	for _, t := range p.Parts {
+		return t.Key
+	}
+	return 0
+}
+
+func (e *Engine) sink(msg *message, out []*stream.Joined) {
+	lat := time.Since(msg.ingress).Seconds() * 1000
+	e.mu.Lock()
+	e.produced += int64(len(out))
+	e.latencySum += lat
+	e.mu.Unlock()
+}
+
+// Ingest admits one batch of tuples from a single stream: tuples are
+// inserted into their stream's windows, statistics are sampled, the batch is
+// classified to a plan, and the pipeline begins. Blocks when the first
+// node's inbox is full (backpressure).
+func (e *Engine) Ingest(b *stream.Batch) error {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: not running")
+	}
+	e.ingested += int64(len(b.Tuples))
+	e.batches++
+	e.rateCount[b.Stream] += float64(len(b.Tuples))
+	e.mu.Unlock()
+
+	// Insert into the windows of join ops over this stream.
+	for _, st := range e.ops {
+		if st.op.Kind == query.Join && st.op.Stream == b.Stream {
+			st.mu.Lock()
+			for _, t := range b.Tuples {
+				st.window.Insert(t)
+			}
+			st.mu.Unlock()
+		}
+	}
+
+	// Sample statistics and classify.
+	e.offerStats()
+	snap := e.monitor.Snapshot()
+	plan := e.chooser.Choose(snap)
+	if plan == nil || !plan.Valid(e.q) {
+		return fmt.Errorf("engine: chooser returned invalid plan %v", plan)
+	}
+	e.mu.Lock()
+	e.planUse[plan.Key()]++
+	e.mu.Unlock()
+
+	partials := make([]*stream.Joined, 0, len(b.Tuples))
+	for _, t := range b.Tuples {
+		partials = append(partials, stream.NewJoined(t))
+	}
+	msg := &message{
+		partials: partials,
+		plan:     plan.Clone(),
+		ingress:  time.Now(),
+		tuples:   len(b.Tuples),
+	}
+	e.send(msg)
+	return nil
+}
+
+// offerStats publishes observed per-op selectivities to the monitor.
+func (e *Engine) offerStats() {
+	sels := make([]float64, len(e.ops))
+	for i, st := range e.ops {
+		sels[i] = st.observedSel()
+	}
+	e.mu.Lock()
+	rates := make(map[string]float64, len(e.rateCount))
+	for k, v := range e.rateCount {
+		rates[k] = v
+	}
+	e.mu.Unlock()
+	e.monitor.Offer(float64(time.Now().UnixNano())/1e9, sels, rates)
+}
+
+// Drain blocks until all in-flight messages are processed.
+func (e *Engine) Drain() {
+	for atomic.LoadInt64(&e.pending) != 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stop drains, shuts down the workers, and returns the run's results.
+func (e *Engine) Stop() Results {
+	e.Drain()
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return e.results()
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	for _, ch := range e.nodes {
+		close(ch)
+	}
+	e.wg.Wait()
+	return e.results()
+}
+
+func (e *Engine) results() Results {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := Results{
+		Produced: e.produced,
+		Ingested: e.ingested,
+		Batches:  e.batches,
+		PlanUse:  make(map[string]int64, len(e.planUse)),
+	}
+	for k, v := range e.planUse {
+		r.PlanUse[k] = v
+	}
+	if e.batches > 0 {
+		r.MeanLatencyMS = e.latencySum / float64(e.batches)
+	}
+	snap := e.monitor.Snapshot()
+	r.ObservedSels = snap.Sels
+	return r
+}
+
+// Monitor exposes the engine's statistics monitor (examples print it).
+func (e *Engine) Monitor() *stats.Monitor { return e.monitor }

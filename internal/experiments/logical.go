@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rld/internal/cost"
+	"rld/internal/optimizer"
+	"rld/internal/paramspace"
+	"rld/internal/query"
+	"rld/internal/robust"
+)
+
+// q1 is the paper's Q1 (5-way join); q2 is Q2 (10-way join); §6.1.
+func q1() *query.Query { return query.NewNWayJoin("Q1", 5, 2) }
+func q2() *query.Query { return query.NewNWayJoin("Q2", 10, 2) }
+
+// spaceFor builds a d-dimensional parameter space over q: selectivity
+// dimensions on the first d (spread-out) operators at uncertainty u, with
+// the given per-dimension resolution.
+func spaceFor(q *query.Query, d, u, steps int) *paramspace.Space {
+	dims := make([]paramspace.Dim, 0, d)
+	n := len(q.Ops)
+	for i := 0; i < d; i++ {
+		op := (i * n) / d // spread dims across the operator list
+		dims = append(dims, paramspace.SelDim(op, q.Ops[op].Sel, u))
+	}
+	return paramspace.New(dims, steps)
+}
+
+// logicalSetup wires an evaluator and counting optimizer for one run.
+func logicalSetup(q *query.Query, space *paramspace.Space, budget int) (*cost.Evaluator, *optimizer.Counter) {
+	ev := cost.NewEvaluator(q, space)
+	var c *optimizer.Counter
+	if budget > 0 {
+		c = optimizer.NewBudgeted(optimizer.NewRank(ev), budget)
+	} else {
+		c = optimizer.NewCounter(optimizer.NewRank(ev))
+	}
+	return ev, c
+}
+
+// uSteps is the per-dimension grid resolution at uncertainty level u for the
+// Figure 10 sweep: wider spaces are discretized finer (Algorithm 1's fixed
+// Δ=0.1 value granularity implies resolution grows with U).
+func uSteps(u int) int { return 2 + 2*u }
+
+// Fig10 — number of optimizer calls vs uncertainty level U ∈ 1..5 for
+// ε ∈ {0.1, 0.2, 0.3} (subfigures a–c), ES vs RS vs ERP on Q1 in 2-D.
+// Expected shape: ERP < RS < ES, all increasing with U and with 1/ε.
+func Fig10(quick bool) []*Table {
+	epsList := []float64{0.1, 0.2, 0.3}
+	uList := []int{1, 2, 3, 4, 5}
+	if quick {
+		epsList = []float64{0.2}
+		uList = []int{1, 3}
+	}
+	var tables []*Table
+	for fi, eps := range epsList {
+		t := &Table{
+			ID:     fmt.Sprintf("Fig10%c", 'a'+fi),
+			Title:  fmt.Sprintf("optimizer calls vs uncertainty level (ε=%.1f, Q1, 2-D)", eps),
+			XLabel: "U",
+			Series: []string{"ES", "RS", "ERP"},
+			Unit:   "calls",
+		}
+		for _, u := range uList {
+			q := q1()
+			cfg := robust.DefaultConfig()
+			cfg.Epsilon = eps
+			row := map[string]float64{}
+
+			space := spaceFor(q, 2, u, uSteps(u))
+			_, c := logicalSetup(q, space, 0)
+			row["ES"] = float64(robust.ES(c, space, cfg).Calls)
+
+			space = spaceFor(q, 2, u, uSteps(u))
+			ev, c := logicalSetup(q, space, 0)
+			_ = ev
+			cfgRS := cfg
+			cfgRS.Seed = int64(u)
+			row["RS"] = float64(robust.RS(c, space, cfgRS).Calls)
+
+			space = spaceFor(q, 2, u, uSteps(u))
+			ev, c = logicalSetup(q, space, 0)
+			row["ERP"] = float64(robust.ERP(c, ev, cfg).Calls)
+
+			t.Add(fmt.Sprintf("U=%d", u), row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig11 — parameter space coverage vs optimizer-call budget
+// {10, 50, 100, 200, 300} at U=2 for ε ∈ {0.1, 0.2, 0.3} (subfigures a–c).
+// Coverage is the certified fraction of the 16×16 grid: ES certifies one
+// cell per call (linear rise to 1.0 at 256 calls), RS certifies only the
+// unit cells it samples and plateaus when its patience runs out, and ERP
+// certifies whole sub-regions per corner pair — the paper's shape: ERP near
+// ES's ceiling at a fraction of the calls, RS stuck below.
+func Fig11(quick bool) []*Table {
+	epsList := []float64{0.1, 0.2, 0.3}
+	budgets := []int{10, 50, 100, 200, 300}
+	if quick {
+		epsList = []float64{0.2}
+		budgets = []int{10, 100}
+	}
+	const u = 2
+	var tables []*Table
+	for fi, eps := range epsList {
+		t := &Table{
+			ID:     fmt.Sprintf("Fig11%c", 'a'+fi),
+			Title:  fmt.Sprintf("space coverage vs optimizer calls (ε=%.1f, U=%d, Q1)", eps, u),
+			XLabel: "calls",
+			Series: []string{"ES", "RS", "ERP"},
+			Unit:   "coverage",
+		}
+		for _, budget := range budgets {
+			q := q1()
+			cfg := robust.DefaultConfig()
+			cfg.Epsilon = eps
+			cfg.MaxCalls = budget
+			row := map[string]float64{}
+
+			space := spaceFor(q, 2, u, paramspace.DefaultSteps)
+			_, c := logicalSetup(q, space, budget)
+			row["ES"] = robust.CertifiedCoverage(robust.ES(c, space, cfg))
+
+			space = spaceFor(q, 2, u, paramspace.DefaultSteps)
+			_, c = logicalSetup(q, space, budget)
+			cfgRS := cfg
+			cfgRS.Seed = int64(budget)
+			row["RS"] = robust.CertifiedCoverage(robust.RS(c, space, cfgRS))
+
+			space = spaceFor(q, 2, u, paramspace.DefaultSteps)
+			ev, c := logicalSetup(q, space, budget)
+			row["ERP"] = robust.CertifiedCoverage(robust.ERP(c, ev, cfg))
+
+			t.Add(fmt.Sprintf("%d", budget), row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig12 — optimizer calls vs number of dimensions {2,3,4,5} on Q2 for
+// (ε, U) ∈ {(0.3,1), (0.2,2), (0.1,3)} (subfigures a–c). The grid keeps 3
+// steps per dimension so exhaustive search exhibits its 3^d exponential
+// growth while ERP stays near-linear.
+func Fig12(quick bool) []*Table {
+	configs := []struct {
+		eps float64
+		u   int
+	}{{0.3, 1}, {0.2, 2}, {0.1, 3}}
+	dimsList := []int{2, 3, 4, 5}
+	if quick {
+		configs = configs[1:2]
+		dimsList = []int{2, 3}
+	}
+	const steps = 3
+	var tables []*Table
+	for fi, cc := range configs {
+		t := &Table{
+			ID:     fmt.Sprintf("Fig12%c", 'a'+fi),
+			Title:  fmt.Sprintf("optimizer calls vs dimensions (ε=%.1f, U=%d, Q2)", cc.eps, cc.u),
+			XLabel: "dims",
+			Series: []string{"ES", "RS", "ERP"},
+			Unit:   "calls",
+		}
+		for _, d := range dimsList {
+			q := q2()
+			cfg := robust.DefaultConfig()
+			cfg.Epsilon = cc.eps
+			row := map[string]float64{}
+
+			space := spaceFor(q, d, cc.u, steps)
+			_, c := logicalSetup(q, space, 0)
+			row["ES"] = float64(robust.ES(c, space, cfg).Calls)
+
+			space = spaceFor(q, d, cc.u, steps)
+			_, c = logicalSetup(q, space, 0)
+			cfgRS := cfg
+			cfgRS.Seed = int64(d)
+			row["RS"] = float64(robust.RS(c, space, cfgRS).Calls)
+
+			space = spaceFor(q, d, cc.u, steps)
+			ev, c := logicalSetup(q, space, 0)
+			row["ERP"] = float64(robust.ERP(c, ev, cfg).Calls)
+
+			t.Add(fmt.Sprintf("%d", d), row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// AblationERP — ERP's early termination and weight-driven splitting vs
+// plain WRP and midpoint splitting (DESIGN.md §6): optimizer calls, achieved
+// coverage, and per-point weight-assignment work.
+func AblationERP(quick bool) []*Table {
+	steps := paramspace.DefaultSteps
+	if quick {
+		steps = 8
+	}
+	t := &Table{
+		ID:     "AblationERP",
+		Title:  "ERP vs WRP vs midpoint splitting (ε=0.02, U=5, Q1, 2-D)",
+		XLabel: "metric",
+		Series: []string{"ERP", "WRP", "Midpoint"},
+	}
+	cfg := robust.DefaultConfig()
+	cfg.Epsilon = 0.02 // tight ε forces deep partitioning
+	cfg.Delta = 0.05   // patient aging so early-stop is observable
+	type run struct {
+		res     *robust.Result
+		weights int
+		cov     float64
+	}
+	runs := map[string]run{}
+	for _, name := range t.Series {
+		q := q1()
+		space := spaceFor(q, 2, 5, steps)
+		ev, c := logicalSetup(q, space, 0)
+		ref := optimizer.NewRank(ev)
+		var res *robust.Result
+		var w int
+		switch name {
+		case "ERP":
+			res, w = robust.RunERPWithStats(c, ev, cfg)
+		case "WRP":
+			res, w = robust.RunWRPWithStats(c, ev, cfg)
+		case "Midpoint":
+			res = robust.MidpointERP(c, ev, cfg)
+		}
+		runs[name] = run{res: res, weights: w, cov: robust.Coverage(res, ev, ref, cfg.Epsilon)}
+	}
+	t.Add("optimizer calls", map[string]float64{
+		"ERP": float64(runs["ERP"].res.Calls), "WRP": float64(runs["WRP"].res.Calls), "Midpoint": float64(runs["Midpoint"].res.Calls)})
+	t.Add("coverage", map[string]float64{
+		"ERP": runs["ERP"].cov, "WRP": runs["WRP"].cov, "Midpoint": runs["Midpoint"].cov})
+	t.Add("plans found", map[string]float64{
+		"ERP": float64(runs["ERP"].res.NumPlans()), "WRP": float64(runs["WRP"].res.NumPlans()), "Midpoint": float64(runs["Midpoint"].res.NumPlans())})
+	t.Add("weight assignments", map[string]float64{
+		"ERP": float64(runs["ERP"].weights), "WRP": float64(runs["WRP"].weights), "Midpoint": 0})
+	return []*Table{t}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rld/internal/cluster"
+	"rld/internal/cost"
+	"rld/internal/optimizer"
+	"rld/internal/paramspace"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/robust"
+)
+
+// physicalInput builds the planner input for one (query, U) cell: an ERP
+// robust solution with occurrence weights and worst-case loads.
+func physicalInput(q *query.Query, u, steps int) ([]physical.LogicalPlan, *cost.Evaluator) {
+	return physicalInputEps(q, u, steps, robust.DefaultConfig().Epsilon)
+}
+
+// physicalInputEps is physicalInput with an explicit robustness threshold
+// (the bound ablation uses a tight ε so the solution has many plans and the
+// search is non-trivial).
+func physicalInputEps(q *query.Query, u, steps int, eps float64) ([]physical.LogicalPlan, *cost.Evaluator) {
+	space := spaceFor(q, 2, u, steps)
+	ev := cost.NewEvaluator(q, space)
+	c := optimizer.NewCounter(optimizer.NewRank(ev))
+	cfg := robust.DefaultConfig()
+	cfg.Epsilon = eps
+	res := robust.ERP(c, ev, cfg)
+	res.AssignWeights(paramspace.NewOccurrenceModel(space))
+	return physical.FromRobust(res, ev), ev
+}
+
+// clusterFor sizes an n-node cluster against the solution's max-load
+// profile with fixed headroom, so feasibility is non-trivial: small
+// clusters cannot support every logical plan.
+func clusterFor(plans []physical.LogicalPlan, nOps, n int) *cluster.Cluster {
+	total := 0.0
+	perOpMax := make([]float64, nOps)
+	for _, lp := range plans {
+		for op, l := range lp.Loads {
+			if l > perOpMax[op] {
+				perOpMax[op] = l
+			}
+		}
+	}
+	biggest := 0.0
+	for _, l := range perOpMax {
+		total += l
+		if l > biggest {
+			biggest = l
+		}
+	}
+	// 1.25× headroom over the max-profile, split across nodes: with few
+	// nodes the per-node capacity binds, with many it relaxes (Fig 14's
+	// coverage growth with machines). Floored just above the heaviest
+	// single operator so a complete placement always exists, while
+	// supporting *every* logical plan stays non-trivial.
+	per := total * 1.25 / float64(n)
+	if per < biggest*1.02 {
+		per = biggest * 1.02
+	}
+	return cluster.NewHomogeneous(n, per)
+}
+
+// timeIt measures f's wall time in milliseconds, repeating to stabilize
+// sub-millisecond measurements.
+func timeIt(f func()) float64 {
+	const reps = 5
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return float64(time.Since(start).Microseconds()) / 1000 / reps
+}
+
+// fig1314 runs the shared Figure 13/14 grid; measure selects the reported
+// metric.
+func fig1314(quick bool, id, title, unit string, measure func(pl func() *physical.Plan, esArea int) float64) []*Table {
+	type cell struct {
+		q        func() *query.Query
+		machines []int
+	}
+	cells := []cell{
+		{q1, []int{2, 3, 4, 5, 6}},
+		{q2, []int{6, 7, 8, 9, 10}},
+	}
+	uList := []int{1, 2, 3}
+	steps := paramspace.DefaultSteps
+	if quick {
+		cells = cells[:1]
+		cells[0].machines = []int{2, 4}
+		uList = []int{2}
+		steps = 8
+	}
+	var tables []*Table
+	sub := 0
+	for _, cc := range cells {
+		for _, u := range uList {
+			qq := cc.q()
+			t := &Table{
+				ID:     fmt.Sprintf("%s%c", id, 'a'+sub),
+				Title:  fmt.Sprintf("%s (%s, ε=0.2, U=%d)", title, qq.Name, u),
+				XLabel: "machines",
+				Series: []string{"GreedyPhy", "OptPrune", "ES"},
+				Unit:   unit,
+			}
+			sub++
+			plans, ev := physicalInput(qq, u, steps)
+			nOps := len(ev.Query().Ops)
+			for _, m := range cc.machines {
+				cl := clusterFor(plans, nOps, m)
+				esPlan := physical.Exhaustive(plans, cl, nOps)
+				esArea := 0
+				if esPlan != nil {
+					esArea = esPlan.Area
+				}
+				row := map[string]float64{
+					"GreedyPhy": measure(func() *physical.Plan { return physical.GreedyPhy(plans, cl, nOps) }, esArea),
+					"OptPrune":  measure(func() *physical.Plan { return physical.OptPrune(plans, cl, nOps) }, esArea),
+					"ES":        measure(func() *physical.Plan { return physical.Exhaustive(plans, cl, nOps) }, esArea),
+				}
+				t.Add(fmt.Sprintf("%d", m), row)
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+// Fig13 — physical-plan compile time (ms) vs number of machines for Q1
+// (2–6 machines) and Q2 (6–10), U ∈ {1,2,3}, ε=0.2 (subfigures a–f).
+// Expected shape: GreedyPhy fastest; OptPrune close to GreedyPhy thanks to
+// its bound; ES slowest and growing steeply with operators/machines.
+func Fig13(quick bool) []*Table {
+	return fig1314(quick, "Fig13", "compile time vs machines", "ms",
+		func(pl func() *physical.Plan, _ int) float64 {
+			return timeIt(func() { pl() })
+		})
+}
+
+// Fig14 — parameter-space coverage of the produced physical plan vs number
+// of machines (same grid as Fig 13). Coverage is the supported plans' robust
+// area relative to the optimal (exhaustive) plan's — the paper's rt metric.
+// Expected shape: OptPrune == ES everywhere; GreedyPhy within [0.62, 0.94].
+func Fig14(quick bool) []*Table {
+	return fig1314(quick, "Fig14", "space coverage vs machines", "coverage",
+		func(pl func() *physical.Plan, esArea int) float64 {
+			p := pl()
+			if p == nil || esArea == 0 {
+				return 0
+			}
+			return float64(p.Area) / float64(esArea)
+		})
+}
+
+// AblationBound — OptPrune's GreedyPhy bound vs unbounded DFS (DESIGN.md
+// §6): vertices expanded and subtrees pruned, optimality preserved.
+func AblationBound(quick bool) []*Table {
+	steps := paramspace.DefaultSteps
+	machines := []int{3, 4, 5}
+	if quick {
+		steps = 8
+		machines = []int{3}
+	}
+	t := &Table{
+		ID:     "AblationBound",
+		Title:  "OptPrune bounding: vertices expanded (Q2, ε=0.01, U=5)",
+		XLabel: "machines",
+		Series: []string{"bounded", "unbounded", "pruned", "score"},
+	}
+	plans, ev := physicalInputEps(q2(), 5, steps, 0.01)
+	nOps := len(ev.Query().Ops)
+	for _, m := range machines {
+		cl := clusterFor(plans, nOps, m)
+		pb, sb := physical.OptPruneWithStats(plans, cl, nOps, true)
+		_, su := physical.OptPruneWithStats(plans, cl, nOps, false)
+		score := 0.0
+		if pb != nil {
+			score = pb.Score
+		}
+		t.Add(fmt.Sprintf("%d", m), map[string]float64{
+			"bounded":   float64(sb.Expanded),
+			"unbounded": float64(su.Expanded),
+			"pruned":    float64(sb.Pruned),
+			"score":     score,
+		})
+	}
+	return []*Table{t}
+}

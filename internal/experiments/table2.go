@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"rld/internal/gen"
+)
+
+// Table2 — the system parameters and data-distribution statistics of the
+// paper's Table 2, regenerated: the configuration defaults plus sampled
+// summary statistics for Uniform(0,100) and Poisson(1).
+func Table2(quick bool) []*Table {
+	cfg := gen.DefaultConfig()
+	params := &Table{
+		ID:     "Table2-params",
+		Title:  "system parameters (defaults)",
+		XLabel: "parameter",
+		Series: []string{"value"},
+	}
+	params.Add("mean inter-arrival ms (µ)", map[string]float64{"value": cfg.MeanInterArrivalMS})
+	params.Add("max dequeue |Tdq|", map[string]float64{"value": float64(cfg.MaxDequeue)})
+	params.Add("ruster size", map[string]float64{"value": float64(cfg.RusterSize)})
+	params.Add("window seconds", map[string]float64{"value": cfg.WindowSeconds})
+	params.Add("base rate t/s", map[string]float64{"value": cfg.BaseRate})
+
+	n := 200000
+	if quick {
+		n = 20000
+	}
+	rng := rand.New(rand.NewSource(1))
+	uni := make([]float64, n)
+	poi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		uni[i] = (gen.Uniform{A: 0, B: 100}).Sample(rng)
+		poi[i] = (gen.Poisson{Lambda: 1}).Sample(rng)
+	}
+	dist := &Table{
+		ID:     "Table2-distributions",
+		Title:  "data distribution statistics (sampled)",
+		XLabel: "statistic",
+		Series: []string{"Uniform(0,100)", "Poisson(1)"},
+	}
+	su, sp := gen.Summarize(uni), gen.Summarize(poi)
+	add := func(name string, u, p float64) {
+		dist.Add(name, map[string]float64{"Uniform(0,100)": u, "Poisson(1)": p})
+	}
+	add("min", su.Min, sp.Min)
+	add("max", su.Max, sp.Max)
+	add("median", su.Median, sp.Median)
+	add("mean", su.Mean, sp.Mean)
+	add("ave.dev", su.AveDev, sp.AveDev)
+	add("st.dev", su.StdDev, sp.StdDev)
+	add("var", su.Var, sp.Var)
+	add("skew", su.Skew, sp.Skew)
+	add("kurt", su.Kurt, sp.Kurt)
+	return []*Table{params, dist}
+}

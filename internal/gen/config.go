@@ -1,0 +1,39 @@
+package gen
+
+// Config captures the system parameters of Table 2. DefaultConfig returns
+// the paper's defaults; experiments scale or override individual fields.
+type Config struct {
+	// MeanInterArrivalMS is the mean tuple inter-arrival time in
+	// milliseconds (Table 2: µ = 500 ms, i.e. 2 tuples/sec per stream).
+	MeanInterArrivalMS float64
+	// MaxDequeue is |Tdq|, the maximum number of tuples an operator
+	// dequeues at a time (Table 2: 1000).
+	MaxDequeue int
+	// RusterSize is the minimum batch ("ruster") size in tuples
+	// (Table 2: 100).
+	RusterSize int
+	// WindowSeconds is the sliding-window length (queries use 60 s).
+	WindowSeconds float64
+	// BaseRate is the derived base arrival rate in tuples/second.
+	BaseRate float64
+}
+
+// DefaultConfig returns Table 2's defaults.
+func DefaultConfig() Config {
+	c := Config{
+		MeanInterArrivalMS: 500,
+		MaxDequeue:         1000,
+		RusterSize:         100,
+		WindowSeconds:      60,
+	}
+	c.BaseRate = 1000 / c.MeanInterArrivalMS
+	return c
+}
+
+// WithRate returns a copy of c with the base rate scaled by factor (the
+// fluctuation ratios of Figure 15a).
+func (c Config) WithRate(factor float64) Config {
+	c.BaseRate *= factor
+	c.MeanInterArrivalMS = 1000 / c.BaseRate
+	return c
+}

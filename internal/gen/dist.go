@@ -1,0 +1,147 @@
+// Package gen provides the synthetic workload generators of the paper's
+// experimental study (§6.1, Table 2): Poisson arrival processes, Uniform and
+// Poisson value distributions, time-varying rate and selectivity profiles,
+// and the Stock/News/Blogs/Currency and Sensor feeds that substitute for the
+// paper's live 2012 data sources (see DESIGN.md §5).
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a real-valued distribution that can be sampled.
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution's analytic mean.
+	Mean() float64
+}
+
+// Uniform is the continuous uniform distribution on [A, B); Table 2 uses
+// Uniform(0, 100).
+type Uniform struct {
+	A, B float64
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.A + rng.Float64()*(u.B-u.A) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Poisson is the Poisson distribution with rate Lambda; Table 2 uses λ=1.
+type Poisson struct {
+	Lambda float64
+}
+
+// Sample implements Dist using Knuth's product method for small λ and a
+// normal approximation above 30 to stay O(1).
+func (p Poisson) Sample(rng *rand.Rand) float64 {
+	if p.Lambda <= 0 {
+		return 0
+	}
+	if p.Lambda > 30 {
+		v := math.Round(rng.NormFloat64()*math.Sqrt(p.Lambda) + p.Lambda)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-p.Lambda)
+	k, prod := 0, 1.0
+	for {
+		prod *= rng.Float64()
+		if prod <= l {
+			return float64(k)
+		}
+		k++
+	}
+}
+
+// Mean implements Dist.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// Exponential is the exponential distribution with the given Rate (events
+// per second). Inter-arrival gaps of a Poisson arrival process are
+// exponential; Table 2's µ=500 ms mean inter-arrival corresponds to Rate 2.
+type Exponential struct {
+	Rate float64
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	if e.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / e.Rate
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 {
+	if e.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / e.Rate
+}
+
+// Normal is the normal distribution with mean Mu and standard deviation
+// Sigma.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 { return rng.NormFloat64()*n.Sigma + n.Mu }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Summary holds the sample statistics Table 2 reports for each data
+// distribution.
+type Summary struct {
+	Min, Max, Median, Mean float64
+	AveDev, StdDev, Var    float64
+	Skew, Kurt             float64 // Kurt is excess kurtosis
+	N                      int
+}
+
+// Summarize computes Table 2's statistics over xs. It returns the zero
+// Summary for empty input.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - s.Mean
+		s.AveDev += math.Abs(d)
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	nf := float64(s.N)
+	s.AveDev /= nf
+	s.Var = m2 / nf
+	s.StdDev = math.Sqrt(s.Var)
+	if s.StdDev > 0 {
+		s.Skew = (m3 / nf) / math.Pow(s.StdDev, 3)
+		s.Kurt = (m4/nf)/math.Pow(s.Var, 2) - 3
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package gen
+
+import "math"
+
+// Profile is a time-varying scalar: an input rate (tuples/sec) or a
+// selectivity as a function of application time in seconds. Profiles drive
+// both the generators and the simulator's ground-truth statistics.
+type Profile interface {
+	// At returns the value at application time t (seconds).
+	At(t float64) float64
+}
+
+// ConstProfile is a constant value.
+type ConstProfile float64
+
+// At implements Profile.
+func (c ConstProfile) At(float64) float64 { return float64(c) }
+
+// StepProfile changes value at fixed breakpoints: value Vals[i] holds on
+// [Times[i], Times[i+1]). Before Times[0] the first value holds; after the
+// last breakpoint the last value holds. Used for Figure 15(b)'s
+// 50%→100%→200% rate schedule.
+type StepProfile struct {
+	Times []float64
+	Vals  []float64
+}
+
+// At implements Profile.
+func (s StepProfile) At(t float64) float64 {
+	if len(s.Vals) == 0 {
+		return 0
+	}
+	i := 0
+	for i < len(s.Times) && t >= s.Times[i] {
+		i++
+	}
+	if i >= len(s.Vals) {
+		i = len(s.Vals) - 1
+	}
+	return s.Vals[i]
+}
+
+// SquareProfile alternates between Hi and Lo with equal half-periods, as in
+// the paper's input-stream fluctuation period experiment (Figure 16b): "the
+// duration of the high rate interval equals the duration of the low rate
+// interval".
+type SquareProfile struct {
+	Lo, Hi float64
+	// Period is the duration of one half (the high interval), in seconds.
+	Period float64
+	// PhaseShift offsets the wave start (seconds).
+	PhaseShift float64
+}
+
+// At implements Profile.
+func (s SquareProfile) At(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Hi
+	}
+	phase := math.Mod(t-s.PhaseShift, 2*s.Period)
+	if phase < 0 {
+		phase += 2 * s.Period
+	}
+	if phase < s.Period {
+		return s.Hi
+	}
+	return s.Lo
+}
+
+// SineProfile oscillates sinusoidally around Base with amplitude Amp and the
+// given period; a smooth alternative to SquareProfile for ablations.
+type SineProfile struct {
+	Base, Amp, Period, PhaseShift float64
+}
+
+// At implements Profile.
+func (s SineProfile) At(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Base
+	}
+	return s.Base + s.Amp*math.Sin(2*math.Pi*(t-s.PhaseShift)/s.Period)
+}
+
+// Scaled multiplies an inner profile by a constant factor, e.g. the
+// fluctuation ratios 50%..400% of Figure 15(a).
+type Scaled struct {
+	Inner  Profile
+	Factor float64
+}
+
+// At implements Profile.
+func (s Scaled) At(t float64) float64 { return s.Inner.At(t) * s.Factor }
+
+// Clamped restricts an inner profile to [Lo, Hi]; selectivities use [0, 1].
+type Clamped struct {
+	Inner  Profile
+	Lo, Hi float64
+}
+
+// At implements Profile.
+func (c Clamped) At(t float64) float64 {
+	v := c.Inner.At(t)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}

@@ -1,0 +1,153 @@
+// Package metrics accumulates the runtime measurements of §6.5: average
+// tuple processing time, cumulative tuples produced over time, and runtime
+// overhead accounting (classification work for RLD, migration downtime for
+// DYN).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Latency accumulates tuple processing times (seconds).
+type Latency struct {
+	count   int64
+	weight  float64
+	sum     float64
+	max     float64
+	samples []float64
+	cap     int
+}
+
+// NewLatency returns an accumulator keeping at most sampleCap raw samples
+// for percentile estimates (0 = keep all).
+func NewLatency(sampleCap int) *Latency {
+	return &Latency{cap: sampleCap}
+}
+
+// Observe records one latency measurement covering weight tuples.
+func (l *Latency) Observe(seconds, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	l.count++
+	l.weight += weight
+	l.sum += seconds * weight
+	if seconds > l.max {
+		l.max = seconds
+	}
+	if l.cap == 0 || len(l.samples) < l.cap {
+		l.samples = append(l.samples, seconds)
+	}
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() int64 { return l.count }
+
+// Mean returns the tuple-weighted mean latency in seconds (0 if empty).
+func (l *Latency) Mean() float64 {
+	if l.weight == 0 {
+		return 0
+	}
+	return l.sum / l.weight
+}
+
+// MeanMS returns the mean latency in milliseconds.
+func (l *Latency) MeanMS() float64 { return l.Mean() * 1000 }
+
+// Max returns the maximum observed latency in seconds.
+func (l *Latency) Max() float64 { return l.max }
+
+// Percentile returns the p-th percentile (0–100) over retained samples.
+func (l *Latency) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), l.samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Timeline records a cumulative series sampled over virtual time —
+// Figure 15(b)'s "total number of tuples produced" curves.
+type Timeline struct {
+	Times  []float64
+	Values []float64
+}
+
+// Record appends a (time, cumulative value) sample.
+func (t *Timeline) Record(at, value float64) {
+	t.Times = append(t.Times, at)
+	t.Values = append(t.Values, value)
+}
+
+// ValueAt returns the last recorded value at or before the given time (0
+// before the first sample).
+func (t *Timeline) ValueAt(at float64) float64 {
+	v := 0.0
+	for i, ts := range t.Times {
+		if ts > at {
+			break
+		}
+		v = t.Values[i]
+	}
+	return v
+}
+
+// Final returns the last value (0 if empty).
+func (t *Timeline) Final() float64 {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	return t.Values[len(t.Values)-1]
+}
+
+// Runtime aggregates one simulation run's outputs.
+type Runtime struct {
+	// Policy is the load-distribution policy name (RLD/ROD/DYN).
+	Policy string
+	// Latency is the per-tuple processing time accumulator.
+	Latency *Latency
+	// Produced counts result tuples emitted by the query sink.
+	Produced float64
+	// ProducedOverTime samples cumulative Produced.
+	ProducedOverTime Timeline
+	// Ingested counts source tuples admitted.
+	Ingested float64
+	// OverheadWork is runtime work spent outside query processing
+	// (classification for RLD; re-optimization decisions for DYN), in
+	// cost-units.
+	OverheadWork float64
+	// QueryWork is work spent on query processing proper, in cost-units.
+	QueryWork float64
+	// Migrations counts operator relocations (DYN only).
+	Migrations int
+	// MigrationDowntime is the summed pause time in seconds.
+	MigrationDowntime float64
+	// PlanSwitches counts logical plan changes between consecutive
+	// batches (RLD only).
+	PlanSwitches int
+	// Dropped counts tuples shed by overloaded admission queues.
+	Dropped float64
+}
+
+// NewRuntime returns an empty result set for a policy.
+func NewRuntime(policy string) *Runtime {
+	return &Runtime{Policy: policy, Latency: NewLatency(100000)}
+}
+
+// OverheadRatio returns overhead work as a fraction of query work (§6.5
+// reports ≈2% for RLD classification).
+func (r *Runtime) OverheadRatio() float64 {
+	if r.QueryWork == 0 {
+		return 0
+	}
+	return r.OverheadWork / r.QueryWork
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLatencyMeanWeighted(t *testing.T) {
+	l := NewLatency(0)
+	l.Observe(1, 100) // 100 tuples at 1s
+	l.Observe(3, 100) // 100 tuples at 3s
+	if got := l.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if got := l.MeanMS(); math.Abs(got-2000) > 1e-9 {
+		t.Fatalf("MeanMS = %v", got)
+	}
+	if l.Max() != 3 || l.Count() != 2 {
+		t.Fatalf("Max/Count wrong: %v %v", l.Max(), l.Count())
+	}
+}
+
+func TestLatencyIgnoresZeroWeight(t *testing.T) {
+	l := NewLatency(0)
+	l.Observe(5, 0)
+	l.Observe(5, -1)
+	if l.Count() != 0 || l.Mean() != 0 {
+		t.Fatal("zero-weight observations must be ignored")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	l := NewLatency(0)
+	for i := 1; i <= 100; i++ {
+		l.Observe(float64(i), 1)
+	}
+	if p50 := l.Percentile(50); math.Abs(p50-50) > 1 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := l.Percentile(99); math.Abs(p99-99) > 1 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if (&Latency{}).Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if p0 := l.Percentile(0); p0 != 1 {
+		t.Fatalf("p0 = %v, want first sample", p0)
+	}
+}
+
+func TestLatencySampleCap(t *testing.T) {
+	l := NewLatency(10)
+	for i := 0; i < 100; i++ {
+		l.Observe(float64(i), 1)
+	}
+	if len(l.samples) != 10 {
+		t.Fatalf("retained %d samples, want cap 10", len(l.samples))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	if tl.Final() != 0 || tl.ValueAt(100) != 0 {
+		t.Fatal("empty timeline should read 0")
+	}
+	tl.Record(10, 100)
+	tl.Record(20, 250)
+	tl.Record(30, 400)
+	if tl.Final() != 400 {
+		t.Fatalf("Final = %v", tl.Final())
+	}
+	if tl.ValueAt(5) != 0 || tl.ValueAt(10) != 100 || tl.ValueAt(25) != 250 || tl.ValueAt(99) != 400 {
+		t.Fatal("ValueAt interpolation wrong")
+	}
+}
+
+func TestRuntimeOverheadRatio(t *testing.T) {
+	r := NewRuntime("RLD")
+	if r.OverheadRatio() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+	r.QueryWork = 1000
+	r.OverheadWork = 20
+	if got := r.OverheadRatio(); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("OverheadRatio = %v, want 0.02", got)
+	}
+	if r.Policy != "RLD" || r.Latency == nil {
+		t.Fatal("constructor incomplete")
+	}
+}

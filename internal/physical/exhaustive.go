@@ -1,0 +1,47 @@
+package physical
+
+import (
+	"rld/internal/cluster"
+)
+
+// Exhaustive enumerates every distinct operator-to-machine partition (set
+// partitions into at most N blocks — machine identity is irrelevant on a
+// homogeneous cluster) and returns the best-scoring physical plan. This is
+// the §6.4 baseline "guaranteed to find the optimal solution"; its cost is
+// Bell-number growth in the operator count, which is exactly why Figure 13
+// shows it losing to GreedyPhy and OptPrune. Inputs beyond maxOpsForSearch
+// operators return nil.
+func Exhaustive(plans []LogicalPlan, c *cluster.Cluster, nOps int) *Plan {
+	if nOps > maxOpsForSearch || len(plans) > maxPlansForSearch {
+		return nil
+	}
+	var best *Plan
+	assign := NewAssignment(nOps)
+	var rec func(op, usedNodes int)
+	rec = func(op, usedNodes int) {
+		if op == nOps {
+			pl := evaluate(assign, plans, c)
+			if pl.Better(best) {
+				best = pl
+			}
+			return
+		}
+		// Operator op may join any used node, or open one new node
+		// (canonical order breaks machine symmetry).
+		limit := usedNodes
+		if usedNodes < c.N() {
+			limit = usedNodes + 1
+		}
+		for n := 0; n < limit; n++ {
+			assign[op] = n
+			nu := usedNodes
+			if n == usedNodes {
+				nu++
+			}
+			rec(op+1, nu)
+		}
+		assign[op] = -1
+	}
+	rec(0, 0)
+	return best
+}

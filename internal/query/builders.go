@@ -1,0 +1,110 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NewNWayJoin builds an n-way windowed equi-join query in the style of the
+// paper's Q1 (n=5) and Q2 (n=10): one selection operator over the first
+// stream followed by n-1 join operators, one per remaining stream. Costs
+// descend and selectivities ascend with operator index by default (the
+// "bullish" statistics of Example 1: c1 > c2 > c3 while δ1 > δ2 > δ3 so the
+// best order is reversed), giving the optimizer real work at every point.
+func NewNWayJoin(name string, n int, baseRate float64) *Query {
+	if n < 2 {
+		n = 2
+	}
+	q := &Query{
+		Name:          name,
+		Rates:         make(map[string]float64, n),
+		WindowSeconds: 60,
+	}
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("S%d", i+1)
+		q.Streams = append(q.Streams, s)
+		q.Rates[s] = baseRate
+	}
+	for i := 0; i < n; i++ {
+		kind := Join
+		if i == 0 {
+			kind = Select
+		}
+		// Near-flat descending costs with low, gently ascending
+		// selectivities: operator ranks (δ-1)/cost sit close together,
+		// so selectivity fluctuations reorder far-apart operators and
+		// distinct orderings differ materially in cost (≈35% at U=5) —
+		// the regime where robust plan choice matters (Example 1).
+		// Calibrated so a 2-D space over ops (0, n-2) yields ~6 distinct
+		// optimal plans at U=1 and ~20 at U=5 for n=5.
+		q.Ops = append(q.Ops, Operator{
+			ID:     i,
+			Name:   fmt.Sprintf("op%d", i+1),
+			Kind:   kind,
+			Cost:   5.4 - 0.8*float64(i)/float64(maxInt(n-1, 1)),
+			Sel:    0.30 + 0.2*float64(i)/float64(maxInt(n-1, 1)),
+			Stream: q.Streams[i],
+		})
+	}
+	return q
+}
+
+// NewRandomQuery builds an n-operator query with costs and selectivities
+// drawn from rng — used by property tests and by scale experiments that need
+// many distinct queries. Costs are in [0.5, 5), selectivities in [0.1, 0.9).
+func NewRandomQuery(name string, n int, baseRate float64, rng *rand.Rand) *Query {
+	q := &Query{
+		Name:          name,
+		Rates:         make(map[string]float64, n),
+		WindowSeconds: 60,
+	}
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("S%d", i+1)
+		q.Streams = append(q.Streams, s)
+		q.Rates[s] = baseRate * (0.5 + rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		kind := Join
+		if i == 0 {
+			kind = Select
+		}
+		q.Ops = append(q.Ops, Operator{
+			ID:     i,
+			Name:   fmt.Sprintf("op%d", i+1),
+			Kind:   kind,
+			Cost:   0.5 + rng.Float64()*4.5,
+			Sel:    0.1 + rng.Float64()*0.8,
+			Stream: q.Streams[i],
+		})
+	}
+	return q
+}
+
+// NewExample1 builds the 3-operator stock-monitoring query of the paper's
+// Example 1 with bullish-market statistics: δ1 > δ2 > δ3 and c1 > c2 > c3,
+// so the optimal bullish ordering is op3->op2->op1.
+func NewExample1() *Query {
+	q := &Query{
+		Name:          "Example1",
+		Streams:       []string{"Stock", "News", "Research"},
+		Rates:         map[string]float64{"Stock": 2, "News": 2, "Research": 2},
+		WindowSeconds: 60,
+	}
+	// Statistics sit where the operator ranks (δ-1)/c of op1 and op2
+	// overlap under ±50% fluctuation, so bull/bear regimes flip the
+	// optimal ordering between op3->op2->op1 and op3->op1->op2 — the
+	// inversion Example 1 narrates.
+	q.Ops = []Operator{
+		{ID: 0, Name: "op1", Kind: Select, Cost: 3.0, Sel: 0.55, Stream: "Stock"},
+		{ID: 1, Name: "op2", Kind: Join, Cost: 2.0, Sel: 0.5, Stream: "News"},
+		{ID: 2, Name: "op3", Kind: Join, Cost: 1.0, Sel: 0.2, Stream: "Research"},
+	}
+	return q
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

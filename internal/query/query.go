@@ -1,0 +1,205 @@
+// Package query models the continuous select-project-join (SPJ) queries of
+// the paper: N-way windowed equi-joins (§6.1: "equi-joins of 10 streams")
+// plus selection operators, together with logical plans — the pipelined
+// operator orderings that the robust plan optimizer enumerates.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind distinguishes operator types in an SPJ pipeline.
+type OpKind int
+
+// Operator kinds.
+const (
+	// Select is a selection / pattern-match operator (Example 1's op1,
+	// matches(S.data, BullishPatterns)).
+	Select OpKind = iota
+	// Join is a windowed equi-join operator with one probe stream.
+	Join
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Select:
+		return "select"
+	case Join:
+		return "join"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Operator is one algebra operator of a continuous query. Cost is the CPU
+// cost to apply the operator to one input unit (milliseconds); Sel is the
+// single-point selectivity estimate the optimizer starts from.
+type Operator struct {
+	// ID indexes the operator within its query (0-based, stable).
+	ID int
+	// Name is a human-readable label (op1, op2, ...).
+	Name string
+	// Kind is the operator type.
+	Kind OpKind
+	// Cost is the per-unit processing cost estimate in milliseconds.
+	Cost float64
+	// Sel is the estimated selectivity in (0, 1].
+	Sel float64
+	// Stream is the stream this operator probes (joins) or filters
+	// (selections); "" if not stream-specific.
+	Stream string
+}
+
+// Query is a continuous SPJ query over a set of streams.
+type Query struct {
+	// Name labels the query (Q1, Q2, ...).
+	Name string
+	// Ops are the operators; Ops[i].ID == i.
+	Ops []Operator
+	// Streams are the input stream names.
+	Streams []string
+	// Rates are the estimated input rates in tuples/second per stream.
+	Rates map[string]float64
+	// WindowSeconds is the sliding-window length (queries use 60 s).
+	WindowSeconds float64
+}
+
+// NumOps returns the number of operators.
+func (q *Query) NumOps() int { return len(q.Ops) }
+
+// TotalRate returns the sum of estimated stream input rates.
+func (q *Query) TotalRate() float64 {
+	sum := 0.0
+	for _, r := range q.Rates {
+		sum += r
+	}
+	return sum
+}
+
+// Validate checks structural invariants: consecutive IDs, positive costs,
+// selectivities in (0,1], known streams, positive rates.
+func (q *Query) Validate() error {
+	if len(q.Ops) == 0 {
+		return fmt.Errorf("query %s: no operators", q.Name)
+	}
+	known := make(map[string]bool, len(q.Streams))
+	for _, s := range q.Streams {
+		known[s] = true
+	}
+	for i, op := range q.Ops {
+		if op.ID != i {
+			return fmt.Errorf("query %s: op %d has ID %d", q.Name, i, op.ID)
+		}
+		if op.Cost <= 0 {
+			return fmt.Errorf("query %s: %s has non-positive cost %v", q.Name, op.Name, op.Cost)
+		}
+		if op.Sel <= 0 || op.Sel > 1 {
+			return fmt.Errorf("query %s: %s has selectivity %v outside (0,1]", q.Name, op.Name, op.Sel)
+		}
+		if op.Stream != "" && !known[op.Stream] {
+			return fmt.Errorf("query %s: %s references unknown stream %q", q.Name, op.Name, op.Stream)
+		}
+	}
+	for s, r := range q.Rates {
+		if !known[s] {
+			return fmt.Errorf("query %s: rate for unknown stream %q", q.Name, s)
+		}
+		if r <= 0 {
+			return fmt.Errorf("query %s: non-positive rate %v for %q", q.Name, r, s)
+		}
+	}
+	return nil
+}
+
+// Plan is a logical query plan: a pipelined ordering of operator IDs
+// (Example 1's "op3->op2->op1").
+type Plan []int
+
+// String renders the plan in the paper's arrow notation.
+func (p Plan) String() string {
+	parts := make([]string, len(p))
+	for i, id := range p {
+		parts[i] = "op" + strconv.Itoa(id+1)
+	}
+	return strings.Join(parts, "->")
+}
+
+// Equal reports whether p and q are the same ordering.
+func (p Plan) Equal(q Plan) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of p.
+func (p Plan) Clone() Plan { return append(Plan(nil), p...) }
+
+// Key returns a canonical comparable key for map usage.
+func (p Plan) Key() string {
+	var b strings.Builder
+	for i, id := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// Valid reports whether p is a permutation of 0..n-1 for the query's n
+// operators.
+func (p Plan) Valid(q *Query) bool {
+	if len(p) != len(q.Ops) {
+		return false
+	}
+	seen := make([]bool, len(q.Ops))
+	for _, id := range p {
+		if id < 0 || id >= len(q.Ops) || seen[id] {
+			return false
+		}
+		seen[id] = true
+	}
+	return true
+}
+
+// IdentityPlan returns the plan op1->op2->...->opn.
+func IdentityPlan(n int) Plan {
+	p := make(Plan, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Permutations enumerates all n! orderings of the query's operators
+// (exhaustive logical plan space; used by tests and the ES baselines for
+// small n). It panics for n > 10 to guard against accidental blowup.
+func Permutations(n int) []Plan {
+	if n > 10 {
+		panic("query.Permutations: n too large")
+	}
+	var out []Plan
+	perm := IdentityPlan(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, perm.Clone())
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,193 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNWayJoinStructure(t *testing.T) {
+	q := NewNWayJoin("Q1", 5, 2)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumOps() != 5 || len(q.Streams) != 5 {
+		t.Fatalf("got %d ops %d streams", q.NumOps(), len(q.Streams))
+	}
+	if q.Ops[0].Kind != Select {
+		t.Fatal("first op should be a selection")
+	}
+	for i := 1; i < 5; i++ {
+		if q.Ops[i].Kind != Join {
+			t.Fatalf("op %d should be a join", i)
+		}
+	}
+	// Example 1 shape: descending costs, ascending selectivities.
+	for i := 1; i < 5; i++ {
+		if q.Ops[i].Cost >= q.Ops[i-1].Cost {
+			t.Fatal("costs should descend")
+		}
+		if q.Ops[i].Sel <= q.Ops[i-1].Sel {
+			t.Fatal("selectivities should ascend")
+		}
+	}
+	if q.TotalRate() != 10 {
+		t.Fatalf("TotalRate = %v, want 10", q.TotalRate())
+	}
+}
+
+func TestNewNWayJoinMinimum(t *testing.T) {
+	q := NewNWayJoin("tiny", 0, 1)
+	if q.NumOps() != 2 {
+		t.Fatalf("n<2 should clamp to 2, got %d", q.NumOps())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewExample1(t *testing.T) {
+	q := NewExample1()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bullish stats: δ1 > δ2 > δ3 and c1 > c2 > c3.
+	for i := 1; i < 3; i++ {
+		if q.Ops[i].Sel >= q.Ops[i-1].Sel || q.Ops[i].Cost >= q.Ops[i-1].Cost {
+			t.Fatal("Example 1 statistics violated")
+		}
+	}
+}
+
+func TestNewRandomQueryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		q := NewRandomQuery("R", 3+rng.Intn(8), 2, rng)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("random query %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Query)
+	}{
+		{"no ops", func(q *Query) { q.Ops = nil }},
+		{"bad id", func(q *Query) { q.Ops[1].ID = 5 }},
+		{"zero cost", func(q *Query) { q.Ops[0].Cost = 0 }},
+		{"sel zero", func(q *Query) { q.Ops[0].Sel = 0 }},
+		{"sel above one", func(q *Query) { q.Ops[0].Sel = 1.5 }},
+		{"unknown op stream", func(q *Query) { q.Ops[0].Stream = "nope" }},
+		{"unknown rate stream", func(q *Query) { q.Rates["nope"] = 1 }},
+		{"bad rate", func(q *Query) { q.Rates[q.Streams[0]] = -1 }},
+	}
+	for _, c := range cases {
+		q := NewNWayJoin("Q", 3, 2)
+		c.mut(q)
+		if err := q.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted invalid query", c.name)
+		}
+	}
+}
+
+func TestPlanStringAndKey(t *testing.T) {
+	p := Plan{2, 1, 0}
+	if p.String() != "op3->op2->op1" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if p.Key() != "2,1,0" {
+		t.Fatalf("Key = %q", p.Key())
+	}
+}
+
+func TestPlanEqualCloneValid(t *testing.T) {
+	q := NewNWayJoin("Q", 4, 1)
+	p := Plan{0, 1, 2, 3}
+	if !p.Valid(q) {
+		t.Fatal("identity should be valid")
+	}
+	c := p.Clone()
+	c[0] = 3
+	if p[0] != 0 {
+		t.Fatal("Clone aliased")
+	}
+	if !p.Equal(Plan{0, 1, 2, 3}) || p.Equal(c) || p.Equal(Plan{0, 1}) {
+		t.Fatal("Equal wrong")
+	}
+	for _, bad := range []Plan{{0, 1, 2}, {0, 1, 2, 2}, {0, 1, 2, 9}, {-1, 1, 2, 3}} {
+		if bad.Valid(q) {
+			t.Fatalf("plan %v should be invalid", bad)
+		}
+	}
+}
+
+func TestIdentityPlan(t *testing.T) {
+	p := IdentityPlan(4)
+	if !p.Equal(Plan{0, 1, 2, 3}) {
+		t.Fatalf("IdentityPlan = %v", p)
+	}
+}
+
+func TestPermutationsCountAndUniqueness(t *testing.T) {
+	perms := Permutations(4)
+	if len(perms) != 24 {
+		t.Fatalf("got %d perms, want 24", len(perms))
+	}
+	seen := map[string]bool{}
+	q := NewNWayJoin("Q", 4, 1)
+	for _, p := range perms {
+		if !p.Valid(q) {
+			t.Fatalf("invalid perm %v", p)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate perm %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestPermutationsPanicGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 10")
+		}
+	}()
+	Permutations(11)
+}
+
+func TestOpKindString(t *testing.T) {
+	if Select.String() != "select" || Join.String() != "join" {
+		t.Fatal("kind strings wrong")
+	}
+	if OpKind(7).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+// Property: Permutations(n) always yields n! distinct valid permutations.
+func TestPermutationsQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw)%5 + 1
+		perms := Permutations(n)
+		fact := 1
+		for i := 2; i <= n; i++ {
+			fact *= i
+		}
+		if len(perms) != fact {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, p := range perms {
+			if len(p) != n || seen[p.Key()] {
+				return false
+			}
+			seen[p.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

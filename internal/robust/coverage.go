@@ -1,0 +1,76 @@
+package robust
+
+import (
+	"rld/internal/cost"
+	"rld/internal/optimizer"
+	"rld/internal/paramspace"
+)
+
+// Coverage measures the fraction of grid points where at least one plan in
+// the solution is pointwise ε-robust: cost(lp, pnt) ≤ (1+ε)·cost(opt, pnt)
+// (Definitions 1–2 applied at every point). The reference optimizer is NOT
+// charged against the algorithm — this is the evaluation metric of
+// Figure 11, computed offline with ground truth.
+func Coverage(res *Result, ev *cost.Evaluator, ref optimizer.Optimizer, eps float64) float64 {
+	space := res.Space
+	total := space.NumPoints()
+	if total == 0 {
+		return 0
+	}
+	covered := 0
+	plans := res.AllPlans()
+	space.FullRegion().ForEach(func(g paramspace.GridPoint) bool {
+		pnt := space.At(g)
+		_, optCost := ref.Best(pnt)
+		bound := (1 + eps) * optCost
+		for _, rp := range plans {
+			if ev.PlanCost(rp.Plan, pnt) <= bound+1e-12 {
+				covered++
+				break
+			}
+		}
+		return true
+	})
+	return float64(covered) / float64(total)
+}
+
+// CertifiedCoverage is the fraction of grid points inside regions the
+// algorithm explicitly certified (a lower bound on Coverage).
+func CertifiedCoverage(res *Result) float64 {
+	total := res.Space.NumPoints()
+	if total == 0 {
+		return 0
+	}
+	return float64(res.CoveredPoints()) / float64(total)
+}
+
+// DistinctOptimalPlans scans the whole grid with the reference optimizer and
+// returns the set of distinct optimal plan keys and their areas in grid
+// points — the ground truth n_total of Theorem 1's analysis.
+func DistinctOptimalPlans(space *paramspace.Space, ref optimizer.Optimizer) map[string]int {
+	out := make(map[string]int)
+	space.FullRegion().ForEach(func(g paramspace.GridPoint) bool {
+		p, _ := ref.Best(space.At(g))
+		out[p.Key()]++
+		return true
+	})
+	return out
+}
+
+// MissedPlanArea returns the total grid area (in points) of truly-optimal
+// plans absent from the solution — the quantity Theorem 1 bounds by δ·|S|
+// with probability ≥ 1-ε.
+func MissedPlanArea(res *Result, space *paramspace.Space, ref optimizer.Optimizer) int {
+	truth := DistinctOptimalPlans(space, ref)
+	have := make(map[string]bool, res.NumPlans())
+	for _, rp := range res.AllPlans() {
+		have[rp.Plan.Key()] = true
+	}
+	missed := 0
+	for k, area := range truth {
+		if !have[k] {
+			missed += area
+		}
+	}
+	return missed
+}

@@ -1,0 +1,483 @@
+// Package sim is a discrete-event simulator of a distributed stream
+// processing system: capacity-limited nodes serve batch work items that flow
+// through a query's operators in logical-plan order, with support for
+// operator migration (DYN), per-batch plan switching (RLD), and static
+// placements (ROD). It replaces the paper's D-CAPE cluster (see DESIGN.md
+// §5): virtual time makes a "60-minute run" (Figure 15b) complete in
+// milliseconds while preserving the queueing behaviour — latency explosion
+// at overload, migration pauses, bottleneck-limited throughput — that the
+// §6.5 comparisons measure.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"rld/internal/cluster"
+	"rld/internal/gen"
+	"rld/internal/metrics"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/stats"
+)
+
+// Scenario fixes the simulated workload: the query, the *actual* statistic
+// trajectories (which the optimizer only knew as a parameter space), the
+// cluster, and run parameters.
+type Scenario struct {
+	Query *query.Query
+	// Rates holds the true input-rate profile per stream (tuples/sec).
+	Rates map[string]gen.Profile
+	// Sels holds the true selectivity profile per operator ID.
+	Sels []gen.Profile
+	// Cluster provides node capacities in cost-units/second.
+	Cluster *cluster.Cluster
+	// Horizon is the virtual run length in seconds.
+	Horizon float64
+	// BatchSize is the ruster size (Table 2: 100 tuples).
+	BatchSize int
+	// SampleEvery is the monitor/timeline sampling period in seconds.
+	SampleEvery float64
+	// TickEvery is the control (rebalance) period in seconds.
+	TickEvery float64
+	// MaxQueue bounds per-node queued work (cost-units); arriving batches
+	// are shed at admission when the first node is beyond it. 0 disables.
+	MaxQueue float64
+	// CountWindows, when true, models tuple-count-bounded join windows
+	// (Table 2's |Tdq| dequeue bound): probe cost is then independent of
+	// the probed stream's rate, so total work scales linearly with input
+	// rates instead of quadratically. The §6.5 experiments use this mode.
+	CountWindows bool
+	// Seed drives arrival jitter.
+	Seed int64
+}
+
+// SelAt returns the true selectivity of operator op at time t.
+func (sc *Scenario) SelAt(op int, t float64) float64 {
+	if op < len(sc.Sels) && sc.Sels[op] != nil {
+		v := sc.Sels[op].At(t)
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return sc.Query.Ops[op].Sel
+}
+
+// RateAt returns the true input rate of stream s at time t.
+func (sc *Scenario) RateAt(s string, t float64) float64 {
+	if p, ok := sc.Rates[s]; ok && p != nil {
+		v := p.At(t)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return sc.Query.Rates[s]
+}
+
+// rateFactor is the stream's true rate relative to the optimizer estimate
+// (densifies time-based join windows, scaling probe cost). Count-bounded
+// windows hold a fixed number of tuples, so the factor is 1.
+func (sc *Scenario) rateFactor(s string, t float64) float64 {
+	if sc.CountWindows {
+		return 1
+	}
+	base := sc.Query.Rates[s]
+	if base <= 0 {
+		return 1
+	}
+	return sc.RateAt(s, t) / base
+}
+
+// TruthSels returns the true per-operator selectivities at t.
+func (sc *Scenario) TruthSels(t float64) []float64 {
+	out := make([]float64, len(sc.Query.Ops))
+	for op := range out {
+		out[op] = sc.SelAt(op, t)
+	}
+	return out
+}
+
+// TruthRates returns the true per-stream rates at t.
+func (sc *Scenario) TruthRates(t float64) map[string]float64 {
+	out := make(map[string]float64, len(sc.Query.Streams))
+	for _, s := range sc.Query.Streams {
+		out[s] = sc.RateAt(s, t)
+	}
+	return out
+}
+
+// Migration moves one operator to another node, pausing it for Downtime
+// seconds of suspension plus state transfer.
+type Migration struct {
+	Op       int
+	To       int
+	Downtime float64
+}
+
+// Policy is a load-distribution strategy under test: RLD, ROD, or DYN.
+type Policy interface {
+	// Name labels the policy in results.
+	Name() string
+	// Placement returns the initial operator → node assignment.
+	Placement() physical.Assignment
+	// PlanFor selects the logical plan for a batch arriving at time t,
+	// given the monitor's current snapshot.
+	PlanFor(t float64, snap stats.Snapshot) query.Plan
+	// ClassifyOverhead is the per-batch plan-selection work in
+	// cost-units (RLD's ≈2%; zero for static policies).
+	ClassifyOverhead() float64
+	// Rebalance is invoked every control tick with per-node queued work
+	// and the live assignment; a non-nil result migrates one operator.
+	Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *Migration
+	// DecisionOverhead is the per-tick control work in cost-units (DYN's
+	// statistics collection and placement solving; zero for static).
+	DecisionOverhead() float64
+}
+
+// event kinds.
+const (
+	evBatch = iota
+	evStageDone
+	evMigrationEnd
+	evTick
+	evSample
+)
+
+type event struct {
+	t    float64
+	kind int
+	// stream for evBatch; node for evStageDone; op for evMigrationEnd.
+	stream string
+	node   int
+	op     int
+	// poll marks an evBatch that only re-checks a zero-rate stream and
+	// must not admit a batch.
+	poll bool
+	seq  int64 // tie-break for determinism
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// batch is a ruster traversing the pipeline.
+type batch struct {
+	id      int64
+	arrival float64
+	plan    query.Plan
+	tuples  float64
+	stage   int
+	carry   float64 // product of selectivities applied so far
+}
+
+// item is one batch×stage unit of work queued at a node.
+type item struct {
+	b    *batch
+	op   int
+	work float64
+}
+
+// node is a single-capacity FIFO server.
+type node struct {
+	id       int
+	capacity float64
+	queue    []*item
+	busy     bool
+	queued   float64 // total queued work incl. in-service remainder proxy
+	serving  *item
+}
+
+// Sim is one simulation run.
+type Sim struct {
+	sc      *Scenario
+	pol     Policy
+	rng     *rand.Rand
+	events  eventQueue
+	seq     int64
+	now     float64
+	nodes   []*node
+	assign  physical.Assignment
+	paused  map[int]float64 // op → pause end time
+	monitor *stats.Monitor
+	res     *metrics.Runtime
+	lastKey string // last batch plan key, for switch counting
+	batchID int64
+}
+
+// New prepares a run of scenario sc under policy pol.
+func New(sc *Scenario, pol Policy) (*Sim, error) {
+	if sc.Query == nil || sc.Cluster == nil {
+		return nil, fmt.Errorf("sim: scenario needs a query and a cluster")
+	}
+	if sc.BatchSize < 1 {
+		sc.BatchSize = 1
+	}
+	if sc.SampleEvery <= 0 {
+		sc.SampleEvery = 5
+	}
+	if sc.TickEvery <= 0 {
+		sc.TickEvery = 5
+	}
+	assign := pol.Placement()
+	if assign == nil || !assign.Complete() {
+		return nil, fmt.Errorf("sim: policy %s has no complete placement", pol.Name())
+	}
+	s := &Sim{
+		sc:      sc,
+		pol:     pol,
+		rng:     rand.New(rand.NewSource(sc.Seed + 77)),
+		assign:  assign.Clone(),
+		paused:  make(map[int]float64),
+		monitor: stats.NewMonitor(len(sc.Query.Ops), 0.6, sc.SampleEvery*0.99),
+		res:     metrics.NewRuntime(pol.Name()),
+	}
+	for _, n := range sc.Cluster.Nodes {
+		s.nodes = append(s.nodes, &node{id: n.ID, capacity: n.Capacity})
+	}
+	// Prime the monitor with the t=0 truth (the paper's executor starts
+	// with the compile-time estimates).
+	s.monitor.Offer(0, sc.TruthSels(0), sc.TruthRates(0))
+	return s, nil
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Run executes the simulation and returns its metrics.
+func (s *Sim) Run() *metrics.Runtime {
+	// Seed arrivals, sampling, and control ticks.
+	for _, st := range s.sc.Query.Streams {
+		s.scheduleNextBatch(st, 0)
+	}
+	s.push(&event{t: s.sc.SampleEvery, kind: evSample})
+	s.push(&event{t: s.sc.TickEvery, kind: evTick})
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.t > s.sc.Horizon {
+			break
+		}
+		s.now = e.t
+		switch e.kind {
+		case evBatch:
+			if e.poll {
+				s.scheduleNextBatch(e.stream, s.now)
+			} else {
+				s.onBatch(e.stream)
+			}
+		case evStageDone:
+			s.onStageDone(e.node)
+		case evMigrationEnd:
+			s.onMigrationEnd(e.op)
+		case evTick:
+			s.onTick()
+			s.push(&event{t: s.now + s.sc.TickEvery, kind: evTick})
+		case evSample:
+			s.onSample()
+			s.push(&event{t: s.now + s.sc.SampleEvery, kind: evSample})
+		}
+	}
+	s.res.ProducedOverTime.Record(s.sc.Horizon, s.res.Produced)
+	return s.res
+}
+
+// scheduleNextBatch books the arrival of the next full ruster on a stream:
+// the time to accumulate BatchSize tuples at the current rate (±10% jitter).
+func (s *Sim) scheduleNextBatch(streamName string, from float64) {
+	rate := s.sc.RateAt(streamName, from)
+	if rate <= 0 {
+		// Idle stream: poll again in a second without admitting a batch.
+		s.push(&event{t: from + 1, kind: evBatch, stream: streamName, poll: true})
+		return
+	}
+	gap := float64(s.sc.BatchSize) / rate
+	gap *= 0.9 + 0.2*s.rng.Float64()
+	s.push(&event{t: from + gap, kind: evBatch, stream: streamName})
+}
+
+func (s *Sim) onBatch(streamName string) {
+	s.scheduleNextBatch(streamName, s.now)
+	snap := s.monitor.Snapshot()
+	plan := s.pol.PlanFor(s.now, snap)
+	if plan == nil {
+		return
+	}
+	// Classification overhead (RLD): charged to the coordinator and
+	// accounted as runtime overhead (§6.5: ≈2% of execution cost).
+	s.res.OverheadWork += s.pol.ClassifyOverhead()
+	if k := plan.Key(); k != s.lastKey {
+		if s.lastKey != "" {
+			s.res.PlanSwitches++
+		}
+		s.lastKey = k
+	}
+	b := &batch{
+		id:      s.batchID,
+		arrival: s.now,
+		plan:    plan,
+		tuples:  float64(s.sc.BatchSize),
+		carry:   1,
+	}
+	s.batchID++
+	s.res.Ingested += b.tuples
+
+	// Admission control: shed when the entry node is past MaxQueue.
+	entry := s.assign[plan[0]]
+	if s.sc.MaxQueue > 0 && s.nodes[entry].queued > s.sc.MaxQueue {
+		s.res.Dropped += b.tuples
+		return
+	}
+	s.enqueueStage(b)
+}
+
+// stageWork computes the cost-units of batch b's current stage at time t.
+func (s *Sim) stageWork(b *batch, t float64) float64 {
+	op := b.plan[b.stage]
+	o := s.sc.Query.Ops[op]
+	f := 1.0
+	if o.Stream != "" {
+		f = s.sc.rateFactor(o.Stream, t)
+	}
+	return b.tuples * b.carry * o.Cost * f
+}
+
+func (s *Sim) enqueueStage(b *batch) {
+	op := b.plan[b.stage]
+	n := s.nodes[s.assign[op]]
+	it := &item{b: b, op: op, work: s.stageWork(b, s.now)}
+	n.queue = append(n.queue, it)
+	n.queued += it.work
+	s.tryServe(n)
+}
+
+// tryServe starts the next servable item on an idle node.
+func (s *Sim) tryServe(n *node) {
+	if n.busy {
+		return
+	}
+	for i, it := range n.queue {
+		if end, ok := s.paused[it.op]; ok && end > s.now {
+			continue // operator mid-migration: hold its items
+		}
+		n.queue = append(n.queue[:i], n.queue[i+1:]...)
+		n.busy = true
+		n.serving = it
+		dur := it.work / n.capacity
+		s.push(&event{t: s.now + dur, kind: evStageDone, node: n.id})
+		return
+	}
+}
+
+func (s *Sim) onStageDone(nodeID int) {
+	n := s.nodes[nodeID]
+	it := n.serving
+	n.serving = nil
+	n.busy = false
+	if it != nil {
+		n.queued -= it.work
+		if n.queued < 0 {
+			n.queued = 0
+		}
+		s.res.QueryWork += it.work
+		b := it.b
+		b.carry *= s.sc.SelAt(it.op, s.now)
+		b.stage++
+		if b.stage >= len(b.plan) {
+			out := b.tuples * b.carry
+			s.res.Produced += out
+			s.res.Latency.Observe(s.now-b.arrival, b.tuples)
+		} else {
+			s.enqueueStage(b)
+		}
+	}
+	s.tryServe(n)
+}
+
+func (s *Sim) onTick() {
+	s.res.OverheadWork += s.pol.DecisionOverhead()
+	loads := make([]float64, len(s.nodes))
+	for i, n := range s.nodes {
+		loads[i] = n.queued
+	}
+	mig := s.pol.Rebalance(s.now, loads, s.assign.Clone())
+	if mig == nil {
+		return
+	}
+	if mig.Op < 0 || mig.Op >= len(s.assign) || mig.To < 0 || mig.To >= len(s.nodes) {
+		return
+	}
+	from := s.assign[mig.Op]
+	if from == mig.To {
+		return
+	}
+	// Move queued items of the operator to the destination node; they
+	// stay frozen until the migration completes.
+	src, dst := s.nodes[from], s.nodes[mig.To]
+	var kept []*item
+	for _, it := range src.queue {
+		if it.op == mig.Op {
+			dst.queue = append(dst.queue, it)
+			src.queued -= it.work
+			dst.queued += it.work
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	src.queue = kept
+	s.assign[mig.Op] = mig.To
+	dt := mig.Downtime
+	if dt < 0 {
+		dt = 0
+	}
+	s.paused[mig.Op] = s.now + dt
+	s.res.Migrations++
+	s.res.MigrationDowntime += dt
+	s.push(&event{t: s.now + dt, kind: evMigrationEnd, op: mig.Op})
+	s.tryServe(src)
+}
+
+func (s *Sim) onMigrationEnd(op int) {
+	delete(s.paused, op)
+	s.tryServe(s.nodes[s.assign[op]])
+}
+
+func (s *Sim) onSample() {
+	s.monitor.Offer(s.now, s.sc.TruthSels(s.now), s.sc.TruthRates(s.now))
+	s.res.ProducedOverTime.Record(s.now, s.res.Produced)
+}
+
+// Assignment returns the live operator placement (changes under DYN).
+func (s *Sim) Assignment() physical.Assignment { return s.assign.Clone() }
+
+// Run is a convenience one-shot: build and run.
+func Run(sc *Scenario, pol Policy) (*metrics.Runtime, error) {
+	s, err := New(sc, pol)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}

@@ -1,0 +1,112 @@
+// Package stats implements the statistic monitor of the RLD architecture
+// (Figure 5): each machine periodically samples operator selectivities and
+// stream input rates and ships them to the robust load executor, which
+// classifies incoming batches against the freshest snapshot. The monitor
+// smooths samples with an EWMA so transient noise does not thrash the
+// classifier.
+package stats
+
+import "sync"
+
+// Snapshot is one consistent view of the monitored statistics.
+type Snapshot struct {
+	// Time is the application time of the last incorporated sample.
+	Time float64
+	// Sels[op] is the smoothed selectivity estimate per operator ID.
+	Sels []float64
+	// Rates[stream] is the smoothed input rate per stream.
+	Rates map[string]float64
+}
+
+// Clone deep-copies the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	c := Snapshot{Time: s.Time, Sels: append([]float64(nil), s.Sels...), Rates: make(map[string]float64, len(s.Rates))}
+	for k, v := range s.Rates {
+		c.Rates[k] = v
+	}
+	return c
+}
+
+// Monitor collects periodic samples of the true statistics. It is safe for
+// concurrent use (the live engine samples from several goroutines; the
+// simulator uses it single-threaded).
+type Monitor struct {
+	mu sync.Mutex
+	// Alpha is the EWMA smoothing factor in (0, 1]; 1 = no smoothing.
+	alpha float64
+	// Interval is the minimum time between accepted samples (seconds);
+	// more frequent offers are ignored, modeling the sampling period.
+	interval float64
+	cur      Snapshot
+	primed   bool
+	// Samples counts accepted samples.
+	Samples int
+}
+
+// NewMonitor returns a monitor for nOps operators with the given EWMA alpha
+// and sampling interval in seconds.
+func NewMonitor(nOps int, alpha, interval float64) *Monitor {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if interval < 0 {
+		interval = 0
+	}
+	return &Monitor{
+		alpha:    alpha,
+		interval: interval,
+		cur: Snapshot{
+			Sels:  make([]float64, nOps),
+			Rates: make(map[string]float64),
+		},
+	}
+}
+
+// Offer submits a ground-truth observation at time t. The first offer primes
+// the monitor; later offers are EWMA-blended and rate-limited by the
+// sampling interval. It reports whether the sample was accepted.
+func (m *Monitor) Offer(t float64, sels []float64, rates map[string]float64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.primed && t-m.cur.Time < m.interval {
+		return false
+	}
+	if !m.primed {
+		copy(m.cur.Sels, sels)
+		for k, v := range rates {
+			m.cur.Rates[k] = v
+		}
+		m.primed = true
+	} else {
+		a := m.alpha
+		for i := range m.cur.Sels {
+			if i < len(sels) {
+				m.cur.Sels[i] = a*sels[i] + (1-a)*m.cur.Sels[i]
+			}
+		}
+		for k, v := range rates {
+			if old, ok := m.cur.Rates[k]; ok {
+				m.cur.Rates[k] = a*v + (1-a)*old
+			} else {
+				m.cur.Rates[k] = v
+			}
+		}
+	}
+	m.cur.Time = t
+	m.Samples++
+	return true
+}
+
+// Snapshot returns the current smoothed view.
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur.Clone()
+}
+
+// Primed reports whether at least one sample has been accepted.
+func (m *Monitor) Primed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.primed
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestMonitorPrimingAndSnapshot(t *testing.T) {
+	m := NewMonitor(2, 0.5, 1)
+	if m.Primed() {
+		t.Fatal("fresh monitor should be unprimed")
+	}
+	ok := m.Offer(0, []float64{0.4, 0.6}, map[string]float64{"S": 10})
+	if !ok || !m.Primed() {
+		t.Fatal("first offer must be accepted")
+	}
+	snap := m.Snapshot()
+	if snap.Sels[0] != 0.4 || snap.Sels[1] != 0.6 || snap.Rates["S"] != 10 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestMonitorEWMA(t *testing.T) {
+	m := NewMonitor(1, 0.5, 0)
+	m.Offer(0, []float64{0.0}, map[string]float64{"S": 0})
+	m.Offer(1, []float64{1.0}, map[string]float64{"S": 100})
+	snap := m.Snapshot()
+	if math.Abs(snap.Sels[0]-0.5) > 1e-12 {
+		t.Fatalf("EWMA sel = %v, want 0.5", snap.Sels[0])
+	}
+	if math.Abs(snap.Rates["S"]-50) > 1e-12 {
+		t.Fatalf("EWMA rate = %v, want 50", snap.Rates["S"])
+	}
+	// New stream appears mid-run: adopted directly.
+	m.Offer(2, []float64{1.0}, map[string]float64{"S": 100, "T": 7})
+	if m.Snapshot().Rates["T"] != 7 {
+		t.Fatal("new stream should be adopted")
+	}
+}
+
+func TestMonitorSamplingInterval(t *testing.T) {
+	m := NewMonitor(1, 1, 10)
+	m.Offer(0, []float64{0.1}, nil)
+	if m.Offer(5, []float64{0.9}, nil) {
+		t.Fatal("offer inside the interval must be rejected")
+	}
+	if got := m.Snapshot().Sels[0]; got != 0.1 {
+		t.Fatalf("rejected sample leaked: %v", got)
+	}
+	if !m.Offer(10, []float64{0.9}, nil) {
+		t.Fatal("offer at the interval boundary must be accepted")
+	}
+	if m.Samples != 2 {
+		t.Fatalf("Samples = %d, want 2", m.Samples)
+	}
+}
+
+func TestMonitorAlphaGuard(t *testing.T) {
+	m := NewMonitor(1, -3, -1)
+	m.Offer(0, []float64{1}, nil)
+	m.Offer(1, []float64{0}, nil)
+	got := m.Snapshot().Sels[0]
+	if got < 0 || got > 1 {
+		t.Fatalf("guarded alpha produced %v", got)
+	}
+}
+
+func TestMonitorConcurrentAccess(t *testing.T) {
+	m := NewMonitor(1, 0.5, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Offer(float64(i*100+j), []float64{0.5}, map[string]float64{"S": 1})
+				_ = m.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !m.Primed() {
+		t.Fatal("monitor lost priming under concurrency")
+	}
+}
+
+func TestSnapshotCloneIsolation(t *testing.T) {
+	s := Snapshot{Time: 1, Sels: []float64{0.5}, Rates: map[string]float64{"S": 2}}
+	c := s.Clone()
+	c.Sels[0] = 9
+	c.Rates["S"] = 9
+	if s.Sels[0] != 0.5 || s.Rates["S"] != 2 {
+		t.Fatal("Clone aliased state")
+	}
+}

@@ -1,0 +1,73 @@
+package stream
+
+// Batch groups consecutive tuples of one stream for routing. The paper calls
+// these "rusters" (§6.1, minimum size 100): the RLD executor assigns one
+// logical plan per batch so the per-tuple classification cost amortizes to
+// ≈2% of execution (§6.5).
+type Batch struct {
+	// Stream is the source stream of all tuples in the batch.
+	Stream string
+	// Tuples are in arrival order.
+	Tuples []*Tuple
+	// Plan is the identifier of the logical plan assigned by the online
+	// classifier; -1 until assigned.
+	Plan int
+}
+
+// NewBatch returns an empty batch for the named stream.
+func NewBatch(streamName string) *Batch {
+	return &Batch{Stream: streamName, Plan: -1}
+}
+
+// Append adds t to the batch.
+func (b *Batch) Append(t *Tuple) { b.Tuples = append(b.Tuples, t) }
+
+// Len returns the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// Span returns the application-time extent (last - first) in seconds, or 0
+// for batches with fewer than two tuples.
+func (b *Batch) Span() float64 {
+	if len(b.Tuples) < 2 {
+		return 0
+	}
+	return b.Tuples[len(b.Tuples)-1].Ts.Sub(b.Tuples[0].Ts)
+}
+
+// Batcher accumulates tuples into fixed-size batches.
+type Batcher struct {
+	size int
+	cur  *Batch
+}
+
+// NewBatcher returns a Batcher emitting batches of the given size (minimum 1).
+func NewBatcher(size int) *Batcher {
+	if size < 1 {
+		size = 1
+	}
+	return &Batcher{size: size}
+}
+
+// Size returns the configured batch size.
+func (b *Batcher) Size() int { return b.size }
+
+// Add appends t and returns a completed batch when full, else nil.
+func (b *Batcher) Add(t *Tuple) *Batch {
+	if b.cur == nil {
+		b.cur = NewBatch(t.Stream)
+	}
+	b.cur.Append(t)
+	if b.cur.Len() >= b.size {
+		done := b.cur
+		b.cur = nil
+		return done
+	}
+	return nil
+}
+
+// Flush returns the in-progress partial batch (possibly nil) and resets.
+func (b *Batcher) Flush() *Batch {
+	done := b.cur
+	b.cur = nil
+	return done
+}

@@ -1,0 +1,232 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleClone(t *testing.T) {
+	orig := &Tuple{Stream: "S", Seq: 7, Ts: 1.5, Key: 42, Vals: []float64{1, 2, 3}}
+	c := orig.Clone()
+	if c == orig {
+		t.Fatal("Clone returned the same pointer")
+	}
+	c.Vals[0] = 99
+	if orig.Vals[0] != 1 {
+		t.Fatal("Clone shares Vals backing array")
+	}
+	if c.Stream != "S" || c.Seq != 7 || c.Key != 42 {
+		t.Fatalf("Clone lost fields: %+v", c)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := &Tuple{Stream: "S", Seq: 1, Ts: 2, Key: 3, Vals: []float64{4}}
+	if got := tu.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestTimeOps(t *testing.T) {
+	a, b := Time(1.0), Time(2.5)
+	if !a.Before(b) || b.Before(a) {
+		t.Fatal("Before wrong")
+	}
+	if got := b.Sub(a); got != 1.5 {
+		t.Fatalf("Sub = %v, want 1.5", got)
+	}
+	if got := a.Add(0.5); got != 1.5 {
+		t.Fatalf("Add = %v, want 1.5", got)
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := Schema{Stream: "S", Fields: []string{"price", "volume"}}
+	if s.Index("price") != 0 || s.Index("volume") != 1 {
+		t.Fatal("known fields misindexed")
+	}
+	if s.Index("missing") != -1 {
+		t.Fatal("missing field should be -1")
+	}
+}
+
+func TestJoinedCombines(t *testing.T) {
+	a := &Tuple{Stream: "A", Ts: 1, Arrival: 10}
+	b := &Tuple{Stream: "B", Ts: 3, Arrival: 5}
+	j := NewJoined(a, b)
+	if j.Ts != 3 {
+		t.Fatalf("Ts = %v, want max 3", j.Ts)
+	}
+	if j.Arrival != 5 {
+		t.Fatalf("Arrival = %v, want min 5", j.Arrival)
+	}
+	got := j.Streams()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Streams = %v", got)
+	}
+}
+
+func TestJoinedExtend(t *testing.T) {
+	a := &Tuple{Stream: "A", Ts: 1, Arrival: 4}
+	j := NewJoined(a)
+	c := &Tuple{Stream: "C", Ts: 9, Arrival: 1}
+	j2 := j.Extend(c)
+	if len(j.Parts) != 1 {
+		t.Fatal("Extend mutated the original")
+	}
+	if len(j2.Parts) != 2 || j2.Ts != 9 || j2.Arrival != 1 {
+		t.Fatalf("Extend wrong: %+v", j2)
+	}
+}
+
+func TestWindowInsertProbe(t *testing.T) {
+	w := NewWindow(10)
+	for i := 0; i < 5; i++ {
+		w.Insert(&Tuple{Stream: "S", Seq: uint64(i), Ts: Time(i), Key: int64(i % 2)})
+	}
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", w.Len())
+	}
+	if got := len(w.Probe(0)); got != 3 {
+		t.Fatalf("Probe(0) = %d matches, want 3", got)
+	}
+	if got := len(w.Probe(1)); got != 2 {
+		t.Fatalf("Probe(1) = %d matches, want 2", got)
+	}
+	if w.Keys() != 2 {
+		t.Fatalf("Keys = %d, want 2", w.Keys())
+	}
+}
+
+func TestWindowExpiration(t *testing.T) {
+	w := NewWindow(5)
+	for i := 0; i <= 10; i++ {
+		w.Insert(&Tuple{Stream: "S", Seq: uint64(i), Ts: Time(i), Key: 0})
+	}
+	// After inserting ts=10 with span 5, tuples with ts < 5 are gone.
+	if w.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 (ts 5..10)", w.Len())
+	}
+	for _, tu := range w.All() {
+		if tu.Ts < 5 {
+			t.Fatalf("expired tuple still present: %v", tu)
+		}
+	}
+	if got := len(w.Probe(0)); got != 6 {
+		t.Fatalf("Probe after expire = %d, want 6", got)
+	}
+}
+
+func TestWindowExpireRemovesKeyEntries(t *testing.T) {
+	w := NewWindow(1)
+	w.Insert(&Tuple{Ts: 0, Key: 7})
+	w.Insert(&Tuple{Ts: 10, Key: 8}) // expires key 7 entirely
+	if got := len(w.Probe(7)); got != 0 {
+		t.Fatalf("Probe(7) = %d, want 0", got)
+	}
+	if w.Keys() != 1 {
+		t.Fatalf("Keys = %d, want 1", w.Keys())
+	}
+}
+
+func TestWindowZeroSpanGuard(t *testing.T) {
+	w := NewWindow(0)
+	if w.Span() <= 0 {
+		t.Fatal("span must be positive after guard")
+	}
+	w.Insert(&Tuple{Ts: 1, Key: 1})
+	if w.Len() != 1 {
+		t.Fatal("insert failed on guarded window")
+	}
+}
+
+// Property: window never retains a tuple older than span behind the max
+// timestamp, and Probe(k) returns exactly the retained tuples with key k.
+func TestWindowInvariantQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		w := NewWindow(5)
+		var maxTs Time
+		ts := 0.0
+		for i := 0; i < n; i++ {
+			ts += rng.Float64() * 2
+			tu := &Tuple{Stream: "S", Seq: uint64(i), Ts: Time(ts), Key: int64(rng.Intn(4))}
+			w.Insert(tu)
+			if tu.Ts > maxTs {
+				maxTs = tu.Ts
+			}
+		}
+		cutoff := maxTs.Add(-w.Span())
+		counts := map[int64]int{}
+		for _, tu := range w.All() {
+			if tu.Ts.Before(cutoff) {
+				return false
+			}
+			counts[tu.Key]++
+		}
+		for k := int64(0); k < 4; k++ {
+			if len(w.Probe(k)) != counts[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherEmitsFixedSizes(t *testing.T) {
+	b := NewBatcher(3)
+	var done []*Batch
+	for i := 0; i < 10; i++ {
+		if out := b.Add(&Tuple{Stream: "S", Seq: uint64(i), Ts: Time(i)}); out != nil {
+			done = append(done, out)
+		}
+	}
+	if len(done) != 3 {
+		t.Fatalf("emitted %d batches, want 3", len(done))
+	}
+	for _, batch := range done {
+		if batch.Len() != 3 {
+			t.Fatalf("batch size %d, want 3", batch.Len())
+		}
+		if batch.Plan != -1 {
+			t.Fatal("new batch should have Plan -1")
+		}
+	}
+	tail := b.Flush()
+	if tail == nil || tail.Len() != 1 {
+		t.Fatalf("Flush = %v, want 1 leftover tuple", tail)
+	}
+	if b.Flush() != nil {
+		t.Fatal("second Flush should be nil")
+	}
+}
+
+func TestBatcherMinimumSize(t *testing.T) {
+	b := NewBatcher(0)
+	if b.Size() != 1 {
+		t.Fatalf("Size = %d, want clamped 1", b.Size())
+	}
+	if out := b.Add(&Tuple{}); out == nil || out.Len() != 1 {
+		t.Fatal("size-1 batcher must emit immediately")
+	}
+}
+
+func TestBatchSpan(t *testing.T) {
+	b := NewBatch("S")
+	if b.Span() != 0 {
+		t.Fatal("empty batch span must be 0")
+	}
+	b.Append(&Tuple{Ts: 1})
+	if b.Span() != 0 {
+		t.Fatal("single-tuple span must be 0")
+	}
+	b.Append(&Tuple{Ts: 4})
+	if b.Span() != 3 {
+		t.Fatalf("span = %v, want 3", b.Span())
+	}
+}

@@ -1,0 +1,124 @@
+// Package stream provides the tuple, window, and batch substrate shared by
+// the live dataflow engine and the discrete-event simulator.
+//
+// Time is modeled as float64 seconds of application time (the paper's
+// "application timestamps", §6.1), so query answers are independent of the
+// wall-clock rate at which data is replayed.
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is an application timestamp in seconds. Windows are defined over
+// application time, not arrival time, to keep workloads repeatable (§6.1).
+type Time float64
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// Sub returns the elapsed seconds t-u.
+func (t Time) Sub(u Time) float64 { return float64(t - u) }
+
+// Add returns t shifted by d seconds.
+func (t Time) Add(d float64) Time { return t + Time(d) }
+
+// Tuple is a single stream element. Tuples carry an equi-join key (Key) and
+// a payload vector (Vals); schemas give names to payload positions.
+type Tuple struct {
+	// Stream identifies the source stream this tuple arrived on.
+	Stream string
+	// Seq is the per-stream sequence number, starting at 0.
+	Seq uint64
+	// Ts is the application timestamp.
+	Ts Time
+	// Key is the equi-join attribute value.
+	Key int64
+	// Vals is the payload, interpreted by the stream's Schema.
+	Vals []float64
+	// Arrival is the system arrival time (set by sources; equals Ts for
+	// replayed data). Latency = completion time - Arrival.
+	Arrival Time
+}
+
+// Clone returns a deep copy of t.
+func (t *Tuple) Clone() *Tuple {
+	c := *t
+	c.Vals = append([]float64(nil), t.Vals...)
+	return &c
+}
+
+func (t *Tuple) String() string {
+	return fmt.Sprintf("%s#%d@%.3f key=%d vals=%v", t.Stream, t.Seq, float64(t.Ts), t.Key, t.Vals)
+}
+
+// Schema names the payload positions of a stream's tuples.
+type Schema struct {
+	Stream string
+	Fields []string
+}
+
+// Index returns the position of the named field, or -1 if absent.
+func (s Schema) Index(field string) int {
+	for i, f := range s.Fields {
+		if f == field {
+			return i
+		}
+	}
+	return -1
+}
+
+// Joined is the result of joining tuples from multiple streams. It retains
+// the constituent tuples so downstream operators can re-apply predicates.
+type Joined struct {
+	// Parts maps stream name to the participating tuple.
+	Parts map[string]*Tuple
+	// Ts is the maximum constituent timestamp (the join result's time).
+	Ts Time
+	// Arrival is the earliest constituent arrival (for latency accounting).
+	Arrival Time
+}
+
+// NewJoined combines parts into a join result.
+func NewJoined(parts ...*Tuple) *Joined {
+	j := &Joined{Parts: make(map[string]*Tuple, len(parts))}
+	first := true
+	for _, p := range parts {
+		j.Parts[p.Stream] = p
+		if p.Ts > j.Ts {
+			j.Ts = p.Ts
+		}
+		if first || p.Arrival < j.Arrival {
+			j.Arrival = p.Arrival
+			first = false
+		}
+	}
+	return j
+}
+
+// Extend returns a new Joined with t added.
+func (j *Joined) Extend(t *Tuple) *Joined {
+	n := &Joined{Parts: make(map[string]*Tuple, len(j.Parts)+1), Ts: j.Ts, Arrival: j.Arrival}
+	for k, v := range j.Parts {
+		n.Parts[k] = v
+	}
+	n.Parts[t.Stream] = t
+	if t.Ts > n.Ts {
+		n.Ts = t.Ts
+	}
+	if t.Arrival < n.Arrival {
+		n.Arrival = t.Arrival
+	}
+	return n
+}
+
+// Streams returns the sorted stream names participating in j.
+func (j *Joined) Streams() []string {
+	out := make([]string, 0, len(j.Parts))
+	for k := range j.Parts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package stream
+
+// Window is a sliding time window buffer over one stream, ordered by
+// application timestamp. It supports insertion, expiration, and key probes —
+// the operations a symmetric windowed join needs.
+//
+// The zero Window is not usable; construct with NewWindow.
+type Window struct {
+	span   float64 // window length in seconds
+	tuples []*Tuple
+	byKey  map[int64][]*Tuple
+}
+
+// NewWindow returns an empty sliding window of the given span in seconds.
+func NewWindow(span float64) *Window {
+	if span <= 0 {
+		span = 1e-9
+	}
+	return &Window{span: span, byKey: make(map[int64][]*Tuple)}
+}
+
+// Span returns the window length in seconds.
+func (w *Window) Span() float64 { return w.span }
+
+// Len returns the number of buffered tuples.
+func (w *Window) Len() int { return len(w.tuples) }
+
+// Insert adds t and evicts tuples older than t.Ts - span. Tuples must be
+// inserted in non-decreasing timestamp order; out-of-order inserts are
+// accepted but expiration is driven by the max timestamp seen.
+func (w *Window) Insert(t *Tuple) {
+	w.tuples = append(w.tuples, t)
+	w.byKey[t.Key] = append(w.byKey[t.Key], t)
+	w.ExpireBefore(t.Ts.Add(-w.span))
+}
+
+// ExpireBefore removes all tuples with Ts < cutoff.
+func (w *Window) ExpireBefore(cutoff Time) {
+	i := 0
+	for i < len(w.tuples) && w.tuples[i].Ts.Before(cutoff) {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	for _, old := range w.tuples[:i] {
+		ks := w.byKey[old.Key]
+		for j, kt := range ks {
+			if kt == old {
+				ks = append(ks[:j], ks[j+1:]...)
+				break
+			}
+		}
+		if len(ks) == 0 {
+			delete(w.byKey, old.Key)
+		} else {
+			w.byKey[old.Key] = ks
+		}
+	}
+	rest := make([]*Tuple, len(w.tuples)-i)
+	copy(rest, w.tuples[i:])
+	w.tuples = rest
+}
+
+// Probe returns the buffered tuples matching key, newest last. The returned
+// slice is shared; callers must not mutate it.
+func (w *Window) Probe(key int64) []*Tuple { return w.byKey[key] }
+
+// All returns the buffered tuples in insertion order. Shared; do not mutate.
+func (w *Window) All() []*Tuple { return w.tuples }
+
+// Keys returns the number of distinct keys currently buffered.
+func (w *Window) Keys() int { return len(w.byKey) }

@@ -1,0 +1,301 @@
+// Package rld is a Go implementation of Robust Load Distribution for
+// distributed stream processing (Lei, Rundensteiner, Guttman — "Robust
+// Distributed Stream Processing", ICDE 2013 / WPI-CS-TR-12-07).
+//
+// RLD compiles a continuous N-way join query plus declared statistic
+// uncertainty into (1) a robust logical solution — a small set of ε-robust
+// operator orderings that together cover the whole parameter space of
+// possible selectivities and input rates — and (2) a single robust physical
+// plan — an operator-to-machine placement that can execute any plan in the
+// solution without ever migrating an operator. At runtime an online
+// classifier routes each tuple batch to the currently-best logical plan.
+//
+// The package surface mirrors the paper's pipeline:
+//
+//	q := rld.NewNWayJoin("Q1", 5, 2)               // the continuous query
+//	dims := []rld.Dim{
+//		rld.SelDim(0, q.Ops[0].Sel, 3),            // Algorithm 1: ±Δ·U
+//		rld.RateDim("S2", 2, 3),
+//	}
+//	cl := rld.NewCluster(4, 100)                   // homogeneous nodes
+//	dep, err := rld.Optimize(q, dims, cl, rld.DefaultConfig())
+//	...
+//	plan, _ := dep.Classify(snapshot)              // per-batch routing
+//
+// Deployments plug into two substrates: a discrete-event simulator
+// (rld.Run, for reproducible experiments — see cmd/rldbench) and a live
+// goroutine dataflow engine (rld.NewEngine, used by the examples). The ROD
+// and DYN baselines of the paper's evaluation are available via NewROD and
+// NewDYN.
+package rld
+
+import (
+	"math/rand"
+
+	"rld/internal/baseline"
+	"rld/internal/cluster"
+	"rld/internal/core"
+	"rld/internal/cost"
+	"rld/internal/engine"
+	"rld/internal/experiments"
+	"rld/internal/gen"
+	"rld/internal/metrics"
+	"rld/internal/optimizer"
+	"rld/internal/paramspace"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/robust"
+	"rld/internal/sim"
+	"rld/internal/stats"
+	"rld/internal/stream"
+)
+
+// Query model (internal/query).
+type (
+	// Query is a continuous select-project-join query over streams.
+	Query = query.Query
+	// Operator is one algebra operator with cost/selectivity estimates.
+	Operator = query.Operator
+	// Plan is a logical plan: a pipelined operator ordering.
+	Plan = query.Plan
+	// Time is an application timestamp in seconds.
+	Time = stream.Time
+)
+
+// Operator kinds.
+const (
+	// OpSelect is a selection / pattern-match operator.
+	OpSelect = query.Select
+	// OpJoin is a windowed equi-join operator.
+	OpJoin = query.Join
+)
+
+// NewNWayJoin builds the paper's N-way windowed equi-join (Q1 with n=5,
+// Q2 with n=10) with the calibrated Example-1-style statistics.
+func NewNWayJoin(name string, n int, baseRate float64) *Query {
+	return query.NewNWayJoin(name, n, baseRate)
+}
+
+// NewExample1 builds the 3-operator stock-monitoring query of Example 1.
+func NewExample1() *Query { return query.NewExample1() }
+
+// NewRandomQuery builds a random n-operator query (property tests, sweeps).
+func NewRandomQuery(name string, n int, baseRate float64, rng *rand.Rand) *Query {
+	return query.NewRandomQuery(name, n, baseRate, rng)
+}
+
+// Parameter space (internal/paramspace).
+type (
+	// Dim is one uncertain statistic: an operator selectivity or a
+	// stream input rate with its Algorithm-1 bounds.
+	Dim = paramspace.Dim
+	// Space is the discretized multi-dimensional parameter space.
+	Space = paramspace.Space
+	// Point is a vector of actual statistic values.
+	Point = paramspace.Point
+)
+
+// SelDim declares selectivity uncertainty for an operator (Algorithm 1).
+func SelDim(op int, base float64, u int) Dim { return paramspace.SelDim(op, base, u) }
+
+// RateDim declares input-rate uncertainty for a stream (Algorithm 1).
+func RateDim(streamName string, base float64, u int) Dim {
+	return paramspace.RateDim(streamName, base, u)
+}
+
+// Cluster model (internal/cluster).
+type (
+	// Cluster is a set of capacity-limited machines.
+	Cluster = cluster.Cluster
+)
+
+// NewCluster returns a homogeneous n-node cluster with the given per-node
+// capacity in cost-units/second.
+func NewCluster(n int, capacity float64) *Cluster { return cluster.NewHomogeneous(n, capacity) }
+
+// The RLD optimizer (internal/core).
+type (
+	// Config parameterizes the end-to-end RLD optimization.
+	Config = core.Config
+	// Deployment is a compiled RLD deployment: robust logical solution,
+	// robust physical plan, and the online classifier.
+	Deployment = core.Deployment
+	// RobustConfig holds the logical-phase parameters (ε, δ, confidence).
+	RobustConfig = robust.Config
+	// LogicalAlgo selects the logical solution algorithm.
+	LogicalAlgo = core.LogicalAlgo
+	// PhysicalAlgo selects the physical planner.
+	PhysicalAlgo = core.PhysicalAlgo
+)
+
+// Algorithm selectors.
+const (
+	LogicalERP = core.LogicalERP
+	LogicalWRP = core.LogicalWRP
+	LogicalES  = core.LogicalES
+	LogicalRS  = core.LogicalRS
+
+	PhysicalGreedy     = core.PhysicalGreedy
+	PhysicalOptPrune   = core.PhysicalOptPrune
+	PhysicalExhaustive = core.PhysicalExhaustive
+)
+
+// DefaultConfig returns the paper-default configuration (ERP + OptPrune,
+// ε=0.2, 16-step grid, 2% classification budget).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Optimize runs the two-step RLD optimization: robust logical solution,
+// then a single robust physical plan on the cluster.
+func Optimize(q *Query, dims []Dim, cl *Cluster, cfg Config) (*Deployment, error) {
+	return core.Optimize(q, dims, cl, cfg)
+}
+
+// Runtime statistics (internal/stats).
+type (
+	// Snapshot is one consistent view of monitored statistics.
+	Snapshot = stats.Snapshot
+	// Monitor samples and smooths runtime statistics.
+	Monitor = stats.Monitor
+)
+
+// NewMonitor returns a statistics monitor for nOps operators.
+func NewMonitor(nOps int, alpha, interval float64) *Monitor {
+	return stats.NewMonitor(nOps, alpha, interval)
+}
+
+// Simulation substrate (internal/sim) and baselines (internal/baseline).
+type (
+	// Scenario fixes a simulated workload: true statistic trajectories,
+	// cluster, horizon.
+	Scenario = sim.Scenario
+	// Policy is a load-distribution strategy under simulation.
+	Policy = sim.Policy
+	// Results aggregates a simulation run's metrics.
+	Results = metrics.Runtime
+	// DYNConfig tunes the dynamic load-distribution baseline.
+	DYNConfig = baseline.DYNConfig
+)
+
+// Run simulates scenario sc under policy pol.
+func Run(sc *Scenario, pol Policy) (*Results, error) { return sim.Run(sc, pol) }
+
+// NewROD builds the resilient-operator-distribution baseline for the
+// deployment's query and space on the cluster.
+func NewROD(dep *Deployment) (Policy, error) { return baseline.NewROD(dep.Ev, dep.Cluster) }
+
+// NewDYN builds the Borealis-style dynamic load-distribution baseline.
+func NewDYN(dep *Deployment, cfg DYNConfig) (Policy, error) {
+	return baseline.NewDYN(dep.Ev, dep.Cluster, cfg)
+}
+
+// DefaultDYNConfig returns the experiment defaults for DYN.
+func DefaultDYNConfig() DYNConfig { return baseline.DefaultDYNConfig() }
+
+// Workload generators (internal/gen).
+type (
+	// Profile is a time-varying rate or selectivity.
+	Profile = gen.Profile
+	// ConstProfile is a constant profile.
+	ConstProfile = gen.ConstProfile
+	// StepProfile changes value at breakpoints.
+	StepProfile = gen.StepProfile
+	// SquareProfile alternates between two values.
+	SquareProfile = gen.SquareProfile
+	// Source generates one stream's tuples.
+	Source = gen.Source
+	// GenConfig carries Table 2's workload defaults.
+	GenConfig = gen.Config
+)
+
+// DefaultGenConfig returns Table 2's defaults.
+func DefaultGenConfig() GenConfig { return gen.DefaultConfig() }
+
+// StockFeed builds the synthetic Stocks-News-Blogs-Currency sources.
+func StockFeed(cfg GenConfig, regimePeriod float64, seed int64) []*Source {
+	return gen.StockFeed(cfg, regimePeriod, seed)
+}
+
+// SensorFeed builds the synthetic Intel-lab-style sensor sources.
+func SensorFeed(cfg GenConfig, fluctuationPeriod float64, seed int64) []*Source {
+	return gen.SensorFeed(cfg, fluctuationPeriod, seed)
+}
+
+// Live engine (internal/engine).
+type (
+	// Engine is the goroutine-per-node live dataflow engine.
+	Engine = engine.Engine
+	// EngineConfig tunes the live engine.
+	EngineConfig = engine.Config
+	// EngineResults summarizes an engine run.
+	EngineResults = engine.Results
+	// PlanChooser selects a plan per batch.
+	PlanChooser = engine.PlanChooser
+	// Batch groups tuples for routing.
+	Batch = stream.Batch
+	// Tuple is a stream element.
+	Tuple = stream.Tuple
+)
+
+// DefaultEngineConfig returns live-engine defaults.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// NewEngine builds a live engine executing the deployment's query on
+// nNodes simulated nodes using the deployment's placement and classifier.
+func NewEngine(dep *Deployment, cfg EngineConfig) (*Engine, error) {
+	chooser := engine.ChooserFunc(func(snap Snapshot) Plan {
+		p, _ := dep.Classify(snap)
+		return p
+	})
+	return engine.New(dep.Query, dep.Physical.Assign, dep.Cluster.N(), chooser, cfg)
+}
+
+// NewStaticEngine builds a live engine with a fixed logical plan (the
+// ROD-style configuration, for comparisons).
+func NewStaticEngine(q *Query, assign []int, nNodes int, plan Plan, cfg EngineConfig) (*Engine, error) {
+	return engine.New(q, physical.Assignment(assign), nNodes, engine.StaticChooser{Plan: plan}, cfg)
+}
+
+// Experiments (internal/experiments).
+type (
+	// ExperimentTable is one reproduced figure/table.
+	ExperimentTable = experiments.Table
+)
+
+// Experiments lists the available experiment IDs in stable order.
+func Experiments() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment reproduces one of the paper's figures/tables by ID
+// ("fig10" … "fig16b", "table2", "overhead", "ablation-*"). Quick mode
+// shrinks parameters for smoke testing. ok is false for unknown IDs.
+func RunExperiment(id string, quick bool) (tables []*ExperimentTable, ok bool) {
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			return e.Run(quick), true
+		}
+	}
+	return nil, false
+}
+
+// FormatTables renders experiment tables as aligned text.
+func FormatTables(tables []*ExperimentTable) string { return experiments.FormatAll(tables) }
+
+// BestPlanAt returns the cost-optimal logical plan and its cost for the
+// deployment's query at a specific statistics point — the "standard query
+// optimizer" the robust optimizer uses as a black box.
+func BestPlanAt(dep *Deployment, pnt Point) (Plan, float64) {
+	return optimizer.NewRank(dep.Ev).Best(pnt)
+}
+
+// PlanCostAt evaluates an arbitrary plan at a statistics point.
+func PlanCostAt(dep *Deployment, p Plan, pnt Point) float64 {
+	return dep.Ev.PlanCost(p, pnt)
+}
+
+// Evaluator exposes the cost model for advanced callers.
+type Evaluator = cost.Evaluator

@@ -1,0 +1,157 @@
+package rld
+
+import "testing"
+
+func testDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	q := NewNWayJoin("Q1", 5, 2)
+	dims := []Dim{
+		SelDim(0, q.Ops[0].Sel, 3),
+		SelDim(3, q.Ops[3].Sel, 3),
+	}
+	cl := NewCluster(3, 60)
+	dep, err := Optimize(q, dims, cl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestPublicOptimizePipeline(t *testing.T) {
+	dep := testDeployment(t)
+	if dep.Logical.NumPlans() == 0 {
+		t.Fatal("no robust plans")
+	}
+	if !dep.Physical.Assign.Complete() {
+		t.Fatal("incomplete physical plan")
+	}
+}
+
+func TestPublicClassify(t *testing.T) {
+	dep := testDeployment(t)
+	snap := Snapshot{Sels: []float64{0.3, 0.35, 0.4, 0.45, 0.5}, Rates: map[string]float64{}}
+	plan, idx := dep.Classify(snap)
+	if plan == nil || idx < 0 {
+		t.Fatal("classification failed")
+	}
+}
+
+func TestPublicSimulationWithAllPolicies(t *testing.T) {
+	dep := testDeployment(t)
+	sc := &Scenario{
+		Query:       dep.Query,
+		Rates:       map[string]Profile{},
+		Sels:        make([]Profile, len(dep.Query.Ops)),
+		Cluster:     dep.Cluster,
+		Horizon:     200,
+		BatchSize:   20,
+		SampleEvery: 5,
+		TickEvery:   5,
+	}
+	for _, s := range dep.Query.Streams {
+		sc.Rates[s] = ConstProfile(dep.Query.Rates[s])
+	}
+	for i := range sc.Sels {
+		sc.Sels[i] = ConstProfile(dep.Query.Ops[i].Sel)
+	}
+
+	rod, err := NewROD(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewDYN(dep, DefaultDYNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{dep.NewPolicy(20), rod, dyn} {
+		res, err := Run(sc, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Produced <= 0 {
+			t.Fatalf("%s produced nothing", pol.Name())
+		}
+	}
+}
+
+func TestPublicEngine(t *testing.T) {
+	dep := testDeployment(t)
+	e, err := NewEngine(dep, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	for _, name := range dep.Query.Streams {
+		b := &Batch{Stream: name}
+		for i := 0; i < 10; i++ {
+			b.Tuples = append(b.Tuples, &Tuple{Stream: name, Seq: uint64(i), Key: int64(i % 3), Vals: []float64{50}})
+		}
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := e.Stop()
+	if res.Ingested == 0 {
+		t.Fatal("engine ingested nothing")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	tabs, ok := RunExperiment("table2", true)
+	if !ok || len(tabs) == 0 {
+		t.Fatal("table2 failed")
+	}
+	if FormatTables(tabs) == "" {
+		t.Fatal("empty formatting")
+	}
+	if _, ok := RunExperiment("nope", true); ok {
+		t.Fatal("unknown experiment should report !ok")
+	}
+}
+
+func TestPublicOptimizerAccess(t *testing.T) {
+	dep := testDeployment(t)
+	center := dep.Space.At(dep.Space.Center())
+	plan, c := BestPlanAt(dep, center)
+	if plan == nil || c <= 0 {
+		t.Fatal("BestPlanAt failed")
+	}
+	if got := PlanCostAt(dep, plan, center); got != c {
+		t.Fatalf("PlanCostAt %v != optimizer cost %v", got, c)
+	}
+}
+
+func TestPublicFeeds(t *testing.T) {
+	stock := StockFeed(DefaultGenConfig(), 120, 1)
+	if len(stock) == 0 {
+		t.Fatal("no stock sources")
+	}
+	sensor := SensorFeed(DefaultGenConfig(), 30, 2)
+	if len(sensor) == 0 {
+		t.Fatal("no sensor sources")
+	}
+	if tu, ok := stock[0].Next(); !ok || tu == nil {
+		t.Fatal("stock source dead")
+	}
+}
+
+func TestPublicStaticEngine(t *testing.T) {
+	q := NewNWayJoin("Q", 3, 2)
+	e, err := NewStaticEngine(q, []int{0, 1, 0}, 2, Plan{0, 1, 2}, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	b := &Batch{Stream: "S1"}
+	b.Tuples = append(b.Tuples, &Tuple{Stream: "S1", Key: 1, Vals: []float64{10}})
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Stop(); res.Batches != 1 {
+		t.Fatalf("batches = %d", res.Batches)
+	}
+}
