@@ -1,0 +1,3 @@
+module rld
+
+go 1.24

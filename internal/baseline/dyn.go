@@ -7,7 +7,7 @@ import (
 	"rld/internal/cost"
 	"rld/internal/physical"
 	"rld/internal/query"
-	"rld/internal/sim"
+	"rld/internal/runtime"
 	"rld/internal/stats"
 )
 
@@ -84,20 +84,20 @@ func NewDYN(ev *cost.Evaluator, cl *cluster.Cluster, cfg DYNConfig) (*DYN, error
 	}, nil
 }
 
-// Name implements sim.Policy.
+// Name implements runtime.Policy.
 func (d *DYN) Name() string { return "DYN" }
 
-// Placement implements sim.Policy.
+// Placement implements runtime.Policy.
 func (d *DYN) Placement() physical.Assignment { return d.assign.Clone() }
 
-// PlanFor implements sim.Policy: DYN never reorders the logical plan —
+// PlanFor implements runtime.Policy: DYN never reorders the logical plan —
 // "load migration only changes the operators' physical layout" (§6.5).
 func (d *DYN) PlanFor(float64, stats.Snapshot) query.Plan { return d.plan }
 
-// ClassifyOverhead implements sim.Policy.
+// ClassifyOverhead implements runtime.Policy.
 func (d *DYN) ClassifyOverhead() float64 { return 0 }
 
-// DecisionOverhead implements sim.Policy.
+// DecisionOverhead implements runtime.Policy.
 func (d *DYN) DecisionOverhead() float64 { return d.cfg.DecisionWork }
 
 // migrationDowntime estimates the pause for moving op: suspension plus
@@ -112,9 +112,9 @@ func (d *DYN) migrationDowntime(op int) float64 {
 	return d.cfg.SuspendSeconds + d.cfg.StateTransferPerTuple*stateTuples
 }
 
-// Rebalance implements sim.Policy: move the heaviest operator from the
+// Rebalance implements runtime.Policy: move the heaviest operator from the
 // hottest node to the coldest when imbalance crosses the factor.
-func (d *DYN) Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *sim.Migration {
+func (d *DYN) Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *runtime.Migration {
 	d.assign = assign.Clone()
 	if len(nodeLoads) < 2 {
 		return nil
@@ -155,10 +155,10 @@ func (d *DYN) Rebalance(t float64, nodeLoads []float64, assign physical.Assignme
 	}
 	d.lastMove[best] = t
 	d.assign[best] = cold
-	return &sim.Migration{Op: best, To: cold, Downtime: d.migrationDowntime(best)}
+	return &runtime.Migration{Op: best, To: cold, Downtime: d.migrationDowntime(best)}
 }
 
 // Plan exposes the fixed logical plan.
 func (d *DYN) Plan() query.Plan { return d.plan.Clone() }
 
-var _ sim.Policy = (*DYN)(nil)
+var _ runtime.Policy = (*DYN)(nil)

@@ -21,7 +21,7 @@ import (
 	"rld/internal/paramspace"
 	"rld/internal/physical"
 	"rld/internal/query"
-	"rld/internal/sim"
+	"rld/internal/runtime"
 	"rld/internal/stats"
 )
 
@@ -57,29 +57,29 @@ func NewROD(ev *cost.Evaluator, cl *cluster.Cluster) (*ROD, error) {
 	return &ROD{plan: plan, assign: assign}, nil
 }
 
-// Name implements sim.Policy.
+// Name implements runtime.Policy.
 func (r *ROD) Name() string { return "ROD" }
 
-// Placement implements sim.Policy.
+// Placement implements runtime.Policy.
 func (r *ROD) Placement() physical.Assignment { return r.assign.Clone() }
 
-// PlanFor implements sim.Policy: always the compile-time plan.
+// PlanFor implements runtime.Policy: always the compile-time plan.
 func (r *ROD) PlanFor(float64, stats.Snapshot) query.Plan { return r.plan }
 
-// ClassifyOverhead implements sim.Policy: ROD has no runtime overhead
+// ClassifyOverhead implements runtime.Policy: ROD has no runtime overhead
 // beyond query processing (§6.5).
 func (r *ROD) ClassifyOverhead() float64 { return 0 }
 
-// Rebalance implements sim.Policy: ROD never migrates.
-func (r *ROD) Rebalance(float64, []float64, physical.Assignment) *sim.Migration { return nil }
+// Rebalance implements runtime.Policy: ROD never migrates.
+func (r *ROD) Rebalance(float64, []float64, physical.Assignment) *runtime.Migration { return nil }
 
-// DecisionOverhead implements sim.Policy.
+// DecisionOverhead implements runtime.Policy.
 func (r *ROD) DecisionOverhead() float64 { return 0 }
 
 // Plan exposes the fixed logical plan (for tests and reports).
 func (r *ROD) Plan() query.Plan { return r.plan.Clone() }
 
-var _ sim.Policy = (*ROD)(nil)
+var _ runtime.Policy = (*ROD)(nil)
 
 // centerPlan is shared by DYN.
 func centerPlan(ev *cost.Evaluator) (query.Plan, paramspace.Point) {

@@ -18,7 +18,7 @@ import (
 	"rld/internal/physical"
 	"rld/internal/query"
 	"rld/internal/robust"
-	"rld/internal/sim"
+	"rld/internal/runtime"
 	"rld/internal/stats"
 )
 
@@ -296,25 +296,25 @@ func (d *Deployment) NewPolicy(batchSize int) *Policy {
 	return &Policy{dep: d, classifyWork: d.ClassifyOverheadWork(batchSize)}
 }
 
-// Name implements sim.Policy.
+// Name implements runtime.Policy.
 func (p *Policy) Name() string { return "RLD" }
 
-// Placement implements sim.Policy.
+// Placement implements runtime.Policy.
 func (p *Policy) Placement() physical.Assignment { return p.dep.Physical.Assign.Clone() }
 
-// PlanFor implements sim.Policy.
+// PlanFor implements runtime.Policy.
 func (p *Policy) PlanFor(_ float64, snap stats.Snapshot) query.Plan {
 	plan, _ := p.dep.Classify(snap)
 	return plan
 }
 
-// ClassifyOverhead implements sim.Policy.
+// ClassifyOverhead implements runtime.Policy.
 func (p *Policy) ClassifyOverhead() float64 { return p.classifyWork }
 
-// Rebalance implements sim.Policy: RLD never migrates.
-func (p *Policy) Rebalance(float64, []float64, physical.Assignment) *sim.Migration { return nil }
+// Rebalance implements runtime.Policy: RLD never migrates.
+func (p *Policy) Rebalance(float64, []float64, physical.Assignment) *runtime.Migration { return nil }
 
-// DecisionOverhead implements sim.Policy.
+// DecisionOverhead implements runtime.Policy.
 func (p *Policy) DecisionOverhead() float64 { return 0 }
 
-var _ sim.Policy = (*Policy)(nil)
+var _ runtime.Policy = (*Policy)(nil)

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"testing"
+
+	"rld/internal/gen"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/stream"
+)
+
+// buildBenchBatches pre-generates a join-heavy workload: S2 batches that
+// fill the 60 s window, then S1 probe batches whose tuples each fan out to
+// several matches. Returned separately so the window warm-up can stay
+// outside the timed region.
+func buildBenchBatches(q *query.Query, probeBatches, batchSize int) (warm, probes []*stream.Batch) {
+	mkSource := func(name string, seed int64) *gen.Source {
+		return gen.NewSource(name,
+			gen.ConstProfile(100), // dense: the window stays populated
+			gen.KeyDist{Cold: 256},
+			gen.Uniform{A: 0, B: 100}, seed)
+	}
+	s2 := mkSource("S2", 7)
+	for i := 0; i < 40; i++ {
+		b := stream.NewBatch("S2")
+		for j := 0; j < batchSize; j++ {
+			t, _ := s2.Next()
+			b.Append(t)
+		}
+		warm = append(warm, b)
+	}
+	s1 := mkSource("S1", 11)
+	for i := 0; i < probeBatches; i++ {
+		b := stream.NewBatch("S1")
+		for j := 0; j < batchSize; j++ {
+			t, _ := s1.Next()
+			b.Append(t)
+		}
+		probes = append(probes, b)
+	}
+	return warm, probes
+}
+
+// benchThroughput drives probe batches through a 2-node engine with the
+// given worker count and reports tuples/second. The acceptance comparison
+// for the sharded-engine refactor is workers=1 (the seed's one goroutine
+// per node) versus workers=GOMAXPROCS.
+func benchThroughput(b *testing.B, workers int) {
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9 // keep most probes alive through the selection
+
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.MaxFanout = 8
+	cfg.InboxSize = 4096
+
+	const batchSize = 100
+	warm, probes := buildBenchBatches(q, 64, batchSize)
+
+	b.ReportAllocs()
+	tuples := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := New(q, physical.Assignment{0, 1}, 2, StaticChooser{Plan: query.Plan{0, 1}}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Start()
+		for _, w := range warm {
+			if err := e.Ingest(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.Drain()
+		b.StartTimer()
+		for _, p := range probes {
+			if err := e.Ingest(p); err != nil {
+				b.Fatal(err)
+			}
+			tuples += batchSize
+		}
+		e.Drain()
+		b.StopTimer()
+		if res := e.Stop(); res.Produced == 0 {
+			b.Fatal("benchmark produced nothing")
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkEngineThroughput measures the sharded multi-worker engine at
+// GOMAXPROCS workers per node against the single-worker (seed-equivalent)
+// configuration. Run with:
+//
+//	go test ./internal/engine -bench EngineThroughput -benchtime 2x
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, workers := range []int{1, stdruntime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchThroughput(b, workers)
+		})
+	}
+}

@@ -1,15 +1,21 @@
-// Package engine is a live, goroutine-per-node dataflow engine: the
-// in-process stand-in for the paper's D-CAPE cluster used by the runnable
-// examples. Each simulated node is a worker goroutine with an inbox channel;
-// batches of real tuples flow through selection and windowed symmetric-hash
-// join operators in the order of their assigned logical plan, hopping
-// between nodes according to the robust physical plan. A QueryMesh-style
+// Package engine is the live dataflow engine: the in-process stand-in for
+// the paper's D-CAPE cluster used by the runnable examples and the
+// cross-substrate conformance tests. Each simulated node runs a pool of
+// worker goroutines draining a shared inbox; batches of real tuples flow
+// through selection and windowed symmetric-hash join operators in the order
+// of their assigned logical plan, hopping between nodes according to the
+// robust physical plan. Join window state is hash-partitioned by join key
+// across independently locked shards, operator statistics are lock-free
+// atomics, and message/partial allocations are pooled, so throughput scales
+// with GOMAXPROCS instead of being serialized per node. A QueryMesh-style
 // router assigns each batch its plan from the latest monitored statistics —
 // the RLD runtime of §3, executed on real data.
 package engine
 
 import (
 	"fmt"
+	"math"
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +56,14 @@ type Config struct {
 	// MaxFanout caps join results per probe to bound memory under hot
 	// keys (0 = unlimited).
 	MaxFanout int
+	// Workers is the number of worker goroutines per node draining its
+	// inbox (0 = GOMAXPROCS): concurrent batches on one node process in
+	// parallel.
+	Workers int
+	// Shards is the number of hash partitions of each join operator's
+	// window state, each with its own lock (0 = 16; rounded up to a
+	// power of two). More shards → less insert/probe contention.
+	Shards int
 }
 
 // DefaultConfig returns sensible example defaults.
@@ -57,34 +71,141 @@ func DefaultConfig() Config {
 	return Config{InboxSize: 1024, SelectThresholdScale: 100, MaxFanout: 64}
 }
 
+// statsEvery is the offerStats sampling period in batches.
+const statsEvery = 8
+
 // message is one batch at one pipeline stage.
 type message struct {
 	partials []*stream.Joined
 	plan     query.Plan
 	stage    int
 	ingress  time.Time
-	tuples   int // original batch size, for latency weighting
 }
 
-// opState is the runtime state of one operator (window + observed
-// selectivity counters), owned by the node hosting it.
-type opState struct {
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+// partialsPool recycles the partial-result slices that carry batches between
+// stages; joins grow them, so pooling the backing arrays cuts most of the
+// engine's steady-state allocation.
+var partialsPool = sync.Pool{New: func() any {
+	s := make([]*stream.Joined, 0, 256)
+	return &s
+}}
+
+func getPartials() []*stream.Joined {
+	return (*partialsPool.Get().(*[]*stream.Joined))[:0]
+}
+
+// putPooled clears a scratch slice to its full capacity and returns it to
+// the pool. Clearing must cover the capacity, not just the length: in-place
+// filtering can leave stale references beyond len, and pooled arrays must
+// not pin tuples past their window life.
+func putPooled[T any](p *sync.Pool, s *[]T) {
+	buf := (*s)[:cap(*s)]
+	var zero T
+	for i := range buf {
+		buf[i] = zero
+	}
+	*s = buf[:0]
+	p.Put(s)
+}
+
+func putPartials(s []*stream.Joined) { putPooled(&partialsPool, &s) }
+
+// matchPool recycles the scratch buffers that copy window probe results out
+// of the shard critical section.
+var matchPool = sync.Pool{New: func() any {
+	s := make([]*stream.Tuple, 0, 64)
+	return &s
+}}
+
+func putMatches(s *[]*stream.Tuple) { putPooled(&matchPool, s) }
+
+// opShard is one hash partition of a join operator's window state, guarded
+// by its own lock so concurrent inserts and probes on different keys don't
+// contend.
+type opShard struct {
 	mu     sync.Mutex
-	op     query.Operator
 	window *stream.Window
-	in     float64
-	out    float64
+}
+
+// opState is the runtime state of one operator: the sharded window plus
+// lock-free observed-selectivity counters.
+type opState struct {
+	op     query.Operator
+	span   float64
+	shards []*opShard
+	// maxTs is the operator-wide high-water application timestamp
+	// (float64 bits): probes expire their shard against it, so a shard
+	// that rarely receives inserts cannot serve stale tuples.
+	maxTs atomic.Uint64
+	// winLen is the total buffered tuple count across shards (the "pairs
+	// examined" denominator a full-window probe would see).
+	winLen atomic.Int64
+	// in/out accumulate observed selectivity: tuples examined/passed for
+	// selections, pairs/matches for joins.
+	in  atomic.Int64
+	out atomic.Int64
+}
+
+// advanceTs lifts the operator's high-water timestamp to at least ts.
+func (s *opState) advanceTs(ts float64) {
+	bits := math.Float64bits(ts)
+	for {
+		old := s.maxTs.Load()
+		// Non-negative float64 bit patterns order like the floats.
+		if old >= bits || s.maxTs.CompareAndSwap(old, bits) {
+			return
+		}
+	}
+}
+
+// shardFor picks the shard owning a join key.
+func (s *opState) shardFor(key int64) *opShard {
+	return s.shards[int(uint64(key)&uint64(len(s.shards)-1))]
+}
+
+// insert adds t to the owning shard's window and maintains the total count.
+func (s *opState) insert(t *stream.Tuple) {
+	s.advanceTs(float64(t.Ts))
+	sh := s.shardFor(t.Key)
+	sh.mu.Lock()
+	before := sh.window.Len()
+	sh.window.Insert(t)
+	after := sh.window.Len()
+	sh.mu.Unlock()
+	s.winLen.Add(int64(after - before))
+}
+
+// probe copies the tuples matching key into buf (reused scratch) and returns
+// it; the copy happens under the shard lock because concurrent inserts may
+// grow the underlying slices. The shard is first expired against the
+// operator-wide high-water timestamp: per-shard windows only see their own
+// inserts, so without this a cold shard would answer probes with tuples far
+// older than the window span.
+func (s *opState) probe(key int64, buf []*stream.Tuple) []*stream.Tuple {
+	cutoff := stream.Time(math.Float64frombits(s.maxTs.Load()) - s.span)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	before := sh.window.Len()
+	sh.window.ExpireBefore(cutoff)
+	after := sh.window.Len()
+	buf = append(buf[:0], sh.window.Probe(key)...)
+	sh.mu.Unlock()
+	if after != before {
+		s.winLen.Add(int64(after - before))
+	}
+	return buf
 }
 
 // observedSel returns the operator's observed selectivity (estimate until
 // data arrives).
 func (s *opState) observedSel() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.in < 32 {
+	in := s.in.Load()
+	if in < 32 {
 		return s.op.Sel
 	}
-	return s.out / s.in
+	return float64(s.out.Load()) / float64(in)
 }
 
 // Results summarizes an engine run.
@@ -99,6 +220,8 @@ type Results struct {
 	MeanLatencyMS float64
 	// PlanUse counts batches per logical plan key.
 	PlanUse map[string]int64
+	// PlanSwitches counts plan changes between consecutive batches.
+	PlanSwitches int
 	// ObservedSels reports the monitor's final per-op selectivities.
 	ObservedSels []float64
 }
@@ -106,25 +229,44 @@ type Results struct {
 // Engine executes one continuous query across simulated nodes.
 type Engine struct {
 	q       *query.Query
-	assign  physical.Assignment
 	chooser PlanChooser
 	cfg     Config
 	monitor *stats.Monitor
 
-	nodes   []chan *message
-	ops     []*opState
-	wg      sync.WaitGroup
-	pending int64 // in-flight messages, for Drain
+	// assign is the live routing table (operator → node). Reads are
+	// lock-free; Migrate swaps in a cloned copy (single logical writer:
+	// the control loop).
+	assign atomic.Pointer[physical.Assignment]
 
-	mu         sync.Mutex
-	produced   int64
-	ingested   int64
-	batches    int64
-	latencySum float64
-	planUse    map[string]int64
-	rateCount  map[string]float64
-	started    bool
-	stopped    bool
+	nodes []chan *message
+	ops   []*opState
+	wg    sync.WaitGroup
+
+	pending     atomic.Int64   // in-flight messages, for Drain
+	nodeQueued  []atomic.Int64 // per-node queued+in-service messages
+	produced    atomic.Int64
+	latencyNano atomic.Int64 // summed batch ingress→sink latency
+	statBatches atomic.Int64 // offerStats rate limiter
+
+	// sendMu fences Ingest against Stop: Ingest holds the read side for
+	// its whole body, and Stop takes the write side after setting the
+	// stopped flag, so no Ingest can be between its stopped-check and
+	// its send when the node channels close.
+	sendMu sync.RWMutex
+
+	// stopDone closes when shutdown fully completes, so a Stop racing
+	// another Stop returns fully-drained results.
+	stopDone chan struct{}
+
+	mu        sync.Mutex // guards the ingest-side state below
+	ingested  int64
+	batches   int64
+	planUse   map[string]int64
+	switches  int
+	lastKey   string
+	rateCount map[string]float64
+	started   bool
+	stopped   bool
 }
 
 // New builds an engine for query q with operator placement assign over
@@ -147,20 +289,35 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 	if cfg.SelectThresholdScale <= 0 {
 		cfg.SelectThresholdScale = 100
 	}
-	e := &Engine{
-		q:         q,
-		assign:    assign.Clone(),
-		chooser:   chooser,
-		cfg:       cfg,
-		monitor:   stats.NewMonitor(len(q.Ops), 0.5, 0),
-		planUse:   make(map[string]int64),
-		rateCount: make(map[string]float64),
+	if cfg.Workers < 1 {
+		cfg.Workers = stdruntime.GOMAXPROCS(0)
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 16
+	}
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	cfg.Shards = shards
+	e := &Engine{
+		q:          q,
+		chooser:    chooser,
+		cfg:        cfg,
+		monitor:    stats.NewMonitor(len(q.Ops), 0.5, 0),
+		planUse:    make(map[string]int64),
+		rateCount:  make(map[string]float64),
+		nodeQueued: make([]atomic.Int64, nNodes),
+		stopDone:   make(chan struct{}),
+	}
+	a := assign.Clone()
+	e.assign.Store(&a)
 	for i := range q.Ops {
-		e.ops = append(e.ops, &opState{
-			op:     q.Ops[i],
-			window: stream.NewWindow(q.WindowSeconds),
-		})
+		st := &opState{op: q.Ops[i], span: q.WindowSeconds}
+		for s := 0; s < cfg.Shards; s++ {
+			st.shards = append(st.shards, &opShard{window: stream.NewWindow(q.WindowSeconds)})
+		}
+		e.ops = append(e.ops, st)
 	}
 	for i := 0; i < nNodes; i++ {
 		e.nodes = append(e.nodes, make(chan *message, cfg.InboxSize))
@@ -168,7 +325,7 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 	return e, nil
 }
 
-// Start launches the node workers.
+// Start launches the per-node worker pools.
 func (e *Engine) Start() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -177,8 +334,10 @@ func (e *Engine) Start() {
 	}
 	e.started = true
 	for i := range e.nodes {
-		e.wg.Add(1)
-		go e.worker(i)
+		for w := 0; w < e.cfg.Workers; w++ {
+			e.wg.Add(1)
+			go e.worker(i)
+		}
 	}
 }
 
@@ -186,7 +345,8 @@ func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	for msg := range e.nodes[id] {
 		e.process(msg)
-		atomic.AddInt64(&e.pending, -1)
+		e.nodeQueued[id].Add(-1)
+		e.pending.Add(-1)
 	}
 }
 
@@ -196,8 +356,10 @@ func (e *Engine) worker(id int) {
 // Drain still accounts for the message via the pending counter.
 func (e *Engine) send(msg *message) {
 	op := msg.plan[msg.stage]
-	atomic.AddInt64(&e.pending, 1)
-	ch := e.nodes[e.assign[op]]
+	node := (*e.assign.Load())[op]
+	e.pending.Add(1)
+	e.nodeQueued[node].Add(1)
+	ch := e.nodes[node]
 	select {
 	case ch <- msg:
 	default:
@@ -214,6 +376,8 @@ func (e *Engine) process(msg *message) {
 	case query.Select:
 		threshold := st.op.Sel * e.cfg.SelectThresholdScale
 		ownIn, ownOut := 0, 0
+		// Filter in place: the write index never passes the read index.
+		out = msg.partials[:0]
 		for _, p := range msg.partials {
 			t := p.Parts[st.op.Stream]
 			if t == nil || len(t.Vals) == 0 {
@@ -231,13 +395,12 @@ func (e *Engine) process(msg *message) {
 		// Selections report the pass fraction over their own stream's
 		// tuples only; pass-throughs would dilute the signal the
 		// classifier needs.
-		st.mu.Lock()
-		st.in += float64(ownIn)
-		st.out += float64(ownOut)
-		st.mu.Unlock()
+		st.in.Add(int64(ownIn))
+		st.out.Add(int64(ownOut))
 	case query.Join:
-		st.mu.Lock()
-		pairs, hits := 0.0, 0.0
+		out = getPartials()
+		scratch := matchPool.Get().(*[]*stream.Tuple)
+		var pairs, hits int64
 		for _, p := range msg.partials {
 			if own := p.Parts[st.op.Stream]; own != nil {
 				// Probing the operator of the batch's own stream:
@@ -245,10 +408,10 @@ func (e *Engine) process(msg *message) {
 				out = append(out, p)
 				continue
 			}
-			key := anyKey(p)
-			matches := st.window.Probe(key)
-			pairs += float64(st.window.Len())
-			hits += float64(len(matches))
+			matches := st.probe(anyKey(p), *scratch)
+			*scratch = matches
+			pairs += st.winLen.Load()
+			hits += int64(len(matches))
 			n := len(matches)
 			if e.cfg.MaxFanout > 0 && n > e.cfg.MaxFanout {
 				n = e.cfg.MaxFanout
@@ -257,20 +420,22 @@ func (e *Engine) process(msg *message) {
 				out = append(out, p.Extend(m))
 			}
 		}
+		putMatches(scratch)
 		// Joins report the per-pair match probability (hits over pairs
 		// examined) rather than raw fanout, so observed selectivities
 		// stay in [0,1] and remain comparable with the optimizer's
 		// estimates.
-		st.in += pairs
-		st.out += hits
-		st.mu.Unlock()
-	}
-
-	if len(out) == 0 || msg.stage == len(msg.plan)-1 {
-		e.sink(msg, out)
-		return
+		st.in.Add(pairs)
+		st.out.Add(hits)
+		// The join produced a fresh slice; recycle the inbound one.
+		putPartials(msg.partials)
 	}
 	msg.partials = out
+
+	if len(out) == 0 || msg.stage == len(msg.plan)-1 {
+		e.sink(msg)
+		return
+	}
 	msg.stage++
 	e.send(msg)
 }
@@ -283,67 +448,87 @@ func anyKey(p *stream.Joined) int64 {
 	return 0
 }
 
-func (e *Engine) sink(msg *message, out []*stream.Joined) {
-	lat := time.Since(msg.ingress).Seconds() * 1000
-	e.mu.Lock()
-	e.produced += int64(len(out))
-	e.latencySum += lat
-	e.mu.Unlock()
+func (e *Engine) sink(msg *message) {
+	e.produced.Add(int64(len(msg.partials)))
+	e.latencyNano.Add(int64(time.Since(msg.ingress)))
+	putPartials(msg.partials)
+	*msg = message{}
+	msgPool.Put(msg)
 }
 
 // Ingest admits one batch of tuples from a single stream: tuples are
 // inserted into their stream's windows, statistics are sampled, the batch is
-// classified to a plan, and the pipeline begins. Blocks when the first
-// node's inbox is full (backpressure).
+// classified to a plan, and the pipeline begins. Ingest never blocks: a full
+// inbox falls back to an asynchronous handoff (see send), so callers that
+// outrun the workers must pace themselves via Drain — the engine Executor
+// drains once per control tick. Safe for concurrent use.
 func (e *Engine) Ingest(b *stream.Batch) error {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
 	e.mu.Lock()
 	if !e.started || e.stopped {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: not running")
 	}
-	e.ingested += int64(len(b.Tuples))
-	e.batches++
-	e.rateCount[b.Stream] += float64(len(b.Tuples))
 	e.mu.Unlock()
 
-	// Insert into the windows of join ops over this stream.
-	for _, st := range e.ops {
-		if st.op.Kind == query.Join && st.op.Stream == b.Stream {
-			st.mu.Lock()
-			for _, t := range b.Tuples {
-				st.window.Insert(t)
-			}
-			st.mu.Unlock()
-		}
-	}
-
-	// Sample statistics and classify.
-	e.offerStats()
+	// Classify and validate BEFORE mutating any state: a failed Ingest
+	// must leave no trace (no counters, no window inserts, no stats
+	// offers), so callers can safely retry the same batch. The snapshot
+	// therefore reflects offers up to the previous batch — offers are
+	// rate-limited to every statsEvery-th batch anyway.
 	snap := e.monitor.Snapshot()
 	plan := e.chooser.Choose(snap)
 	if plan == nil || !plan.Valid(e.q) {
 		return fmt.Errorf("engine: chooser returned invalid plan %v", plan)
 	}
+	e.offerStats(false)
+
+	k := plan.Key()
 	e.mu.Lock()
-	e.planUse[plan.Key()]++
+	e.ingested += int64(len(b.Tuples))
+	e.batches++
+	e.rateCount[b.Stream] += float64(len(b.Tuples))
+	e.planUse[k]++
+	if k != e.lastKey {
+		if e.lastKey != "" {
+			e.switches++
+		}
+		e.lastKey = k
+	}
 	e.mu.Unlock()
 
-	partials := make([]*stream.Joined, 0, len(b.Tuples))
+	// Insert into the windows of join ops over this stream.
+	for _, st := range e.ops {
+		if st.op.Kind == query.Join && st.op.Stream == b.Stream {
+			for _, t := range b.Tuples {
+				st.insert(t)
+			}
+		}
+	}
+
+	partials := getPartials()
 	for _, t := range b.Tuples {
 		partials = append(partials, stream.NewJoined(t))
 	}
-	msg := &message{
+	msg := msgPool.Get().(*message)
+	*msg = message{
 		partials: partials,
 		plan:     plan.Clone(),
 		ingress:  time.Now(),
-		tuples:   len(b.Tuples),
 	}
 	e.send(msg)
 	return nil
 }
 
-// offerStats publishes observed per-op selectivities to the monitor.
-func (e *Engine) offerStats() {
+// offerStats publishes observed per-op selectivities to the monitor. It is
+// rate-limited to every statsEvery-th batch (the slice/map building below
+// would otherwise be a per-batch allocation on the hot path); force bypasses
+// the limiter for the final sample at Stop.
+func (e *Engine) offerStats(force bool) {
+	if !force && e.statBatches.Add(1)%statsEvery != 1 {
+		return
+	}
 	sels := make([]float64, len(e.ops))
 	for i, st := range e.ops {
 		sels[i] = st.observedSel()
@@ -357,27 +542,81 @@ func (e *Engine) offerStats() {
 	e.monitor.Offer(float64(time.Now().UnixNano())/1e9, sels, rates)
 }
 
+// Assignment returns a copy of the live routing table.
+func (e *Engine) Assignment() physical.Assignment {
+	return (*e.assign.Load()).Clone()
+}
+
+// Migrate reroutes one operator to another node by swapping the routing
+// table. The engine's operator state is shared memory, so the "migration"
+// is instantaneous — there is no suspension window; DYN-style policies
+// still account their modeled downtime in reports. Migrate must be called
+// from a single control goroutine.
+func (e *Engine) Migrate(op, node int) error {
+	cur := *e.assign.Load()
+	if op < 0 || op >= len(cur) {
+		return fmt.Errorf("engine: migrate unknown op %d", op)
+	}
+	if node < 0 || node >= len(e.nodes) {
+		return fmt.Errorf("engine: migrate to unknown node %d", node)
+	}
+	if cur[op] == node {
+		return nil
+	}
+	next := cur.Clone()
+	next[op] = node
+	e.assign.Store(&next)
+	return nil
+}
+
+// NodeLoads returns the per-node queued message counts — the live engine's
+// analogue of the simulator's queued cost-units, fed to Policy.Rebalance.
+// The unit differs from the simulator's: policies with absolute thresholds
+// calibrated in cost-units (DYNConfig.ActivationFloor) need engine-specific
+// tuning; relative imbalance factors carry over as-is.
+func (e *Engine) NodeLoads() []float64 {
+	out := make([]float64, len(e.nodeQueued))
+	for i := range e.nodeQueued {
+		out[i] = float64(e.nodeQueued[i].Load())
+	}
+	return out
+}
+
 // Drain blocks until all in-flight messages are processed.
 func (e *Engine) Drain() {
-	for atomic.LoadInt64(&e.pending) != 0 {
+	for e.pending.Load() != 0 {
 		time.Sleep(200 * time.Microsecond)
 	}
 }
 
-// Stop drains, shuts down the workers, and returns the run's results.
+// Stop drains, shuts down the workers, and returns the run's results. A
+// Stop that loses the race to another Stop waits for the winner's shutdown
+// to complete, so every caller sees fully-drained results.
 func (e *Engine) Stop() Results {
-	e.Drain()
 	e.mu.Lock()
 	if e.stopped {
 		e.mu.Unlock()
+		<-e.stopDone
 		return e.results()
 	}
 	e.stopped = true
 	e.mu.Unlock()
+	// Barrier: wait out any Ingest that passed its stopped-check before
+	// the flag flipped; new Ingests are now rejected.
+	e.sendMu.Lock()
+	e.sendMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	// Drain AFTER the barrier: every accounted message (including async
+	// fallback senders parked on full inboxes) is delivered and
+	// processed before the channels close.
+	e.Drain()
 	for _, ch := range e.nodes {
 		close(ch)
 	}
 	e.wg.Wait()
+	// Final forced sample so results reflect the fully processed run,
+	// not the last rate-limited offer.
+	e.offerStats(true)
+	close(e.stopDone)
 	return e.results()
 }
 
@@ -385,16 +624,17 @@ func (e *Engine) results() Results {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r := Results{
-		Produced: e.produced,
-		Ingested: e.ingested,
-		Batches:  e.batches,
-		PlanUse:  make(map[string]int64, len(e.planUse)),
+		Produced:     e.produced.Load(),
+		Ingested:     e.ingested,
+		Batches:      e.batches,
+		PlanSwitches: e.switches,
+		PlanUse:      make(map[string]int64, len(e.planUse)),
 	}
 	for k, v := range e.planUse {
 		r.PlanUse[k] = v
 	}
 	if e.batches > 0 {
-		r.MeanLatencyMS = e.latencySum / float64(e.batches)
+		r.MeanLatencyMS = float64(e.latencyNano.Load()) / 1e6 / float64(e.batches)
 	}
 	snap := e.monitor.Snapshot()
 	r.ObservedSels = snap.Sels

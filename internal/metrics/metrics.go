@@ -121,6 +121,10 @@ type Runtime struct {
 	ProducedOverTime Timeline
 	// Ingested counts source tuples admitted.
 	Ingested float64
+	// Batches counts tuple batches routed through the pipeline.
+	Batches int64
+	// PlanUse counts batches per logical plan key.
+	PlanUse map[string]int64
 	// OverheadWork is runtime work spent outside query processing
 	// (classification for RLD; re-optimization decisions for DYN), in
 	// cost-units.
@@ -140,7 +144,7 @@ type Runtime struct {
 
 // NewRuntime returns an empty result set for a policy.
 func NewRuntime(policy string) *Runtime {
-	return &Runtime{Policy: policy, Latency: NewLatency(100000)}
+	return &Runtime{Policy: policy, Latency: NewLatency(100000), PlanUse: make(map[string]int64)}
 }
 
 // OverheadRatio returns overhead work as a fraction of query work (§6.5

@@ -1,0 +1,193 @@
+package runtime_test
+
+// Cross-substrate conformance: the same query, feed, and policy executed on
+// the discrete-event simulator and on the live sharded engine must agree on
+// produced-result counts within tolerance. The simulator reduces each batch
+// by every operator's selectivity (out = in × Πδ); the engine pushes real
+// tuples through selections and windowed hash joins. The workload below is
+// calibrated so the two semantics coincide:
+//
+//   - op0 is a selection on S1 with δ1: the engine passes Uniform(0,100)
+//     payloads under threshold δ1×100, matching the model exactly;
+//   - op1 is a join on S2 with δ2: a surviving S1 tuple probing S2's 60 s
+//     window of L tuples fans out to ≈ L/D matches for keys uniform over a
+//     domain of size D, so D is chosen to make the analytic engine output
+//     ratio (k·δ1·L/D + 1)/(k+1) equal the simulator's δ1·δ2, where k is
+//     the S1:S2 rate ratio (S2 batches pass both stages untouched: the
+//     selection is not theirs and the join is trivially satisfied on its
+//     own stream).
+
+import (
+	"math"
+	"testing"
+
+	"rld/internal/baseline"
+	"rld/internal/cluster"
+	"rld/internal/core"
+	"rld/internal/engine"
+	"rld/internal/gen"
+	"rld/internal/paramspace"
+	"rld/internal/query"
+	rt "rld/internal/runtime"
+	"rld/internal/sim"
+)
+
+const (
+	confDelta1  = 0.5 // op0 (select on S1) selectivity
+	confDelta2  = 0.9 // op1 (join on S2) selectivity
+	confRate1   = 9.0 // S1 tuples/sec
+	confRate2   = 1.0 // S2 tuples/sec
+	confHorizon = 600.0
+	confBatch   = 50
+)
+
+// conformanceQuery builds the calibrated 2-operator query.
+func conformanceQuery() *query.Query {
+	q := query.NewNWayJoin("CONF", 2, confRate2)
+	q.Rates["S1"] = confRate1
+	q.Rates["S2"] = confRate2
+	q.Ops[0].Sel = confDelta1
+	q.Ops[1].Sel = confDelta2
+	return q
+}
+
+// keyDomain returns the uniform key-domain size D that makes the engine's
+// analytic output ratio equal the simulator's δ1·δ2. Uniform keys give a
+// per-pair match probability of 1/D with no hot-key concentration, so the
+// realized fanout has low variance across runs (a hot-key mix would make
+// the window's hot-tuple count a high-CV binomial and the test flaky).
+func keyDomain(winLen float64) int64 {
+	k := confRate1 / confRate2
+	// (k·δ1·L/D + 1)/(k+1) = δ1·δ2  ⇒  D = k·δ1·L/((k+1)·δ1·δ2 − 1)
+	return int64(math.Round(k * confDelta1 * winLen / ((k+1)*confDelta1*confDelta2 - 1)))
+}
+
+// conformancePolicies builds RLD, ROD, and DYN for the query.
+func conformancePolicies(t *testing.T, q *query.Query, cl *cluster.Cluster) []rt.Policy {
+	t.Helper()
+	dims := []paramspace.Dim{paramspace.SelDim(0, q.Ops[0].Sel, 3)}
+	cfg := core.DefaultConfig()
+	cfg.Steps = 4
+	dep, err := core.Optimize(q, dims, cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rod, err := baseline.NewROD(dep.Ev, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := baseline.NewDYN(dep.Ev, cl, baseline.DefaultDYNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []rt.Policy{dep.NewPolicy(confBatch), rod, dyn}
+}
+
+func conformanceSimExecutor(q *query.Query, cl *cluster.Cluster) rt.Executor {
+	sc := &sim.Scenario{
+		Query:       q,
+		Rates:       map[string]gen.Profile{},
+		Sels:        make([]gen.Profile, len(q.Ops)),
+		Cluster:     cl,
+		Horizon:     confHorizon,
+		BatchSize:   confBatch,
+		SampleEvery: 5,
+		TickEvery:   5,
+		Seed:        17,
+	}
+	for _, s := range q.Streams {
+		sc.Rates[s] = gen.ConstProfile(q.Rates[s])
+	}
+	for i := range sc.Sels {
+		sc.Sels[i] = gen.ConstProfile(q.Ops[i].Sel)
+	}
+	return &sim.Executor{Scenario: sc}
+}
+
+func conformanceEngineExecutor(q *query.Query, cl *cluster.Cluster) rt.Executor {
+	domain := keyDomain(confRate2 * q.WindowSeconds)
+	srcs := make([]*gen.Source, len(q.Streams))
+	for i, s := range q.Streams {
+		// A nil Target draws keys uniformly over the Cold domain: match
+		// probability exactly 1/Cold per pair.
+		srcs[i] = gen.NewSource(s,
+			gen.ConstProfile(q.Rates[s]),
+			gen.KeyDist{Cold: domain},
+			gen.Uniform{A: 0, B: 100}, 500+int64(i)*13)
+	}
+	ecfg := engine.DefaultConfig()
+	ecfg.MaxFanout = 0 // counts must not be clipped
+	return &engine.Executor{
+		Query:  q,
+		Nodes:  cl.N(),
+		Feed:   rt.NewSourceFeed(srcs, confBatch, confHorizon),
+		Config: ecfg,
+	}
+}
+
+// TestConformanceSimVsEngine is the cross-substrate acceptance check: for
+// each policy, the produced/ingested ratio of the two substrates must agree
+// within 15% relative tolerance (window warm-up, Poisson noise, and batch
+// jitter account for the slack), and both must be near the analytic Πδ.
+func TestConformanceSimVsEngine(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6) // ample capacity: no queueing loss
+	want := confDelta1 * confDelta2
+
+	simEx := conformanceSimExecutor(q, cl)
+	// Policies can be stateful (DYN): give each substrate a fresh set so
+	// one run's cooldown clock and final placement cannot leak into the
+	// other.
+	simPols := conformancePolicies(t, q, cl)
+	engPols := conformancePolicies(t, q, cl)
+	for i, pol := range simPols {
+		simRep, err := simEx.Execute(pol)
+		if err != nil {
+			t.Fatalf("%s/sim: %v", pol.Name(), err)
+		}
+		engRep, err := conformanceEngineExecutor(q, cl).Execute(engPols[i])
+		if err != nil {
+			t.Fatalf("%s/engine: %v", pol.Name(), err)
+		}
+		if simRep.Produced == 0 || engRep.Produced == 0 {
+			t.Fatalf("%s: empty run (sim %v, engine %v)", pol.Name(), simRep.Produced, engRep.Produced)
+		}
+		rs, re := simRep.OutputRatio(), engRep.OutputRatio()
+		t.Logf("%s: sim ratio %.4f (produced %.0f), engine ratio %.4f (produced %.0f), Πδ %.4f",
+			pol.Name(), rs, simRep.Produced, re, engRep.Produced, want)
+		if math.Abs(rs-want) > 0.05*want {
+			t.Errorf("%s: sim ratio %.4f differs from Πδ %.4f", pol.Name(), rs, want)
+		}
+		if math.Abs(re-rs) > 0.15*rs {
+			t.Errorf("%s: engine ratio %.4f vs sim ratio %.4f (>15%%)", pol.Name(), re, rs)
+		}
+	}
+}
+
+// TestConformanceStaticPolicyBothSubstrates runs the same StaticPolicy on
+// both substrates — the minimal policy implementation must be sufficient
+// for either executor.
+func TestConformanceStaticPolicyBothSubstrates(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	pol := &rt.StaticPolicy{
+		PolicyName: "FIXED",
+		Plan:       query.Plan{1, 0},
+		Assign:     []int{0, 1},
+	}
+	for _, ex := range []rt.Executor{conformanceSimExecutor(q, cl), conformanceEngineExecutor(q, cl)} {
+		rep, err := ex.Execute(pol)
+		if err != nil {
+			t.Fatalf("%s: %v", ex.Substrate(), err)
+		}
+		if rep.Policy != "FIXED" || rep.Substrate != ex.Substrate() {
+			t.Fatalf("report header %q/%q", rep.Policy, rep.Substrate)
+		}
+		if rep.Produced == 0 || rep.Ingested == 0 {
+			t.Fatalf("%s: empty run", ex.Substrate())
+		}
+		if rep.PlanCount() != 1 {
+			t.Fatalf("%s: static policy used %d plans", ex.Substrate(), rep.PlanCount())
+		}
+	}
+}

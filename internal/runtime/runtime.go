@@ -1,0 +1,173 @@
+// Package runtime defines the substrate-agnostic execution layer of the RLD
+// system: a Policy is a load-distribution strategy (RLD, ROD, DYN, or any
+// custom strategy) expressed independently of where it runs, and an Executor
+// is a substrate — the discrete-event simulator or the live goroutine
+// dataflow engine — that can run any Policy and fill the shared Report
+// result type. This mirrors the paper's central claim: the robust physical
+// plan lets the runtime execute *any* plan in the robust logical solution
+// without migration, so the policy layer must not care whether batches are
+// simulated cost-units or real tuples.
+package runtime
+
+import (
+	"rld/internal/metrics"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/stats"
+)
+
+// Migration moves one operator to another node, pausing it for Downtime
+// seconds of suspension plus state transfer (only DYN-style policies emit
+// these; the robust physical plan never needs them).
+type Migration struct {
+	Op       int
+	To       int
+	Downtime float64
+}
+
+// Policy is a load-distribution strategy under test: it provides the initial
+// operator placement, chooses a logical plan per batch, and may request
+// operator migrations at control ticks. Implementations must be safe for
+// use from a single executor goroutine; executors serialize all calls.
+// Policies may be stateful (DYN tracks per-operator cooldowns and the live
+// assignment), so use a fresh instance per Execute call when comparing runs
+// — carried-over state would leak one run's clock and placement into the
+// next.
+type Policy interface {
+	// Name labels the policy in results (RLD/ROD/DYN/...).
+	Name() string
+	// Placement returns the initial operator → node assignment.
+	Placement() physical.Assignment
+	// PlanFor selects the logical plan for a batch arriving at virtual
+	// time t, given the monitor's current snapshot.
+	PlanFor(t float64, snap stats.Snapshot) query.Plan
+	// ClassifyOverhead is the per-batch plan-selection work in cost-units
+	// (RLD's ≈2%; zero for static policies).
+	ClassifyOverhead() float64
+	// Rebalance is invoked every control tick with per-node queued work
+	// and the live assignment; a non-nil result migrates one operator.
+	Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *Migration
+	// DecisionOverhead is the per-tick control work in cost-units (DYN's
+	// statistics collection and placement solving; zero for static).
+	DecisionOverhead() float64
+}
+
+// StaticPolicy is the simplest Policy: one fixed plan, one fixed placement,
+// no overheads, no migrations — the configuration a conventional optimizer
+// deploys. It doubles as the adapter for running hand-built plans on either
+// substrate.
+type StaticPolicy struct {
+	// PolicyName labels the policy in results (default "STATIC").
+	PolicyName string
+	// Plan is the fixed logical plan.
+	Plan query.Plan
+	// Assign is the fixed operator → node placement.
+	Assign physical.Assignment
+}
+
+// Name implements Policy.
+func (s *StaticPolicy) Name() string {
+	if s.PolicyName == "" {
+		return "STATIC"
+	}
+	return s.PolicyName
+}
+
+// Placement implements Policy.
+func (s *StaticPolicy) Placement() physical.Assignment { return s.Assign.Clone() }
+
+// PlanFor implements Policy.
+func (s *StaticPolicy) PlanFor(float64, stats.Snapshot) query.Plan { return s.Plan }
+
+// ClassifyOverhead implements Policy.
+func (s *StaticPolicy) ClassifyOverhead() float64 { return 0 }
+
+// Rebalance implements Policy.
+func (s *StaticPolicy) Rebalance(float64, []float64, physical.Assignment) *Migration { return nil }
+
+// DecisionOverhead implements Policy.
+func (s *StaticPolicy) DecisionOverhead() float64 { return 0 }
+
+var _ Policy = (*StaticPolicy)(nil)
+
+// Report is the substrate-agnostic result of one run: both the simulator and
+// the live engine fill it, so experiments can compare policies across
+// substrates with one code path.
+type Report struct {
+	// Policy is the load-distribution policy name (RLD/ROD/DYN/...).
+	Policy string
+	// Substrate identifies the executor ("sim" or "engine").
+	Substrate string
+	// Ingested counts source tuples admitted.
+	Ingested float64
+	// Produced counts result tuples emitted by the query sink.
+	Produced float64
+	// Dropped counts tuples shed by overloaded admission queues.
+	Dropped float64
+	// Batches counts tuple batches routed through the pipeline.
+	Batches int64
+	// MeanLatencyMS is the mean ingress→sink latency in milliseconds
+	// (virtual time under simulation, wall time on the live engine).
+	MeanLatencyMS float64
+	// PlanUse counts batches per logical plan key.
+	PlanUse map[string]int64
+	// PlanSwitches counts logical plan changes between consecutive
+	// batches.
+	PlanSwitches int
+	// Migrations counts operator relocations (DYN-style policies only).
+	Migrations int
+	// MigrationDowntime is the summed operator pause time in seconds.
+	MigrationDowntime float64
+	// OverheadWork is runtime work outside query processing in cost-units
+	// (classification for RLD, control decisions for DYN).
+	OverheadWork float64
+	// QueryWork is query-processing work in cost-units (simulation only).
+	QueryWork float64
+	// WallSeconds is the wall-clock duration of the run (engine only).
+	WallSeconds float64
+}
+
+// OutputRatio returns Produced/Ingested (0 when nothing was ingested) — the
+// quantity the cross-substrate conformance check compares.
+func (r *Report) OutputRatio() float64 {
+	if r.Ingested == 0 {
+		return 0
+	}
+	return r.Produced / r.Ingested
+}
+
+// PlanCount returns the number of distinct logical plans used.
+func (r *Report) PlanCount() int { return len(r.PlanUse) }
+
+// Executor is one runtime substrate: something that can execute a workload
+// under a Policy and report the outcome. internal/sim and internal/engine
+// each provide one.
+type Executor interface {
+	// Substrate names the executor ("sim", "engine").
+	Substrate() string
+	// Execute runs the configured workload under pol.
+	Execute(pol Policy) (*Report, error)
+}
+
+// FromSim converts the simulator's metrics into the shared Report.
+func FromSim(res *metrics.Runtime) *Report {
+	r := &Report{
+		Policy:            res.Policy,
+		Substrate:         "sim",
+		Ingested:          res.Ingested,
+		Produced:          res.Produced,
+		Dropped:           res.Dropped,
+		Batches:           res.Batches,
+		MeanLatencyMS:     res.Latency.MeanMS(),
+		PlanUse:           make(map[string]int64, len(res.PlanUse)),
+		PlanSwitches:      res.PlanSwitches,
+		Migrations:        res.Migrations,
+		MigrationDowntime: res.MigrationDowntime,
+		OverheadWork:      res.OverheadWork,
+		QueryWork:         res.QueryWork,
+	}
+	for k, v := range res.PlanUse {
+		r.PlanUse[k] = v
+	}
+	return r
+}

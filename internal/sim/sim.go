@@ -19,6 +19,7 @@ import (
 	"rld/internal/metrics"
 	"rld/internal/physical"
 	"rld/internal/query"
+	"rld/internal/runtime"
 	"rld/internal/stats"
 )
 
@@ -35,7 +36,7 @@ type Scenario struct {
 	Cluster *cluster.Cluster
 	// Horizon is the virtual run length in seconds.
 	Horizon float64
-	// BatchSize is the ruster size (Table 2: 100 tuples).
+	// BatchSize is the batch ("ruster") size in tuples (Table 2: 100).
 	BatchSize int
 	// SampleEvery is the monitor/timeline sampling period in seconds.
 	SampleEvery float64
@@ -112,33 +113,14 @@ func (sc *Scenario) TruthRates(t float64) map[string]float64 {
 	return out
 }
 
-// Migration moves one operator to another node, pausing it for Downtime
-// seconds of suspension plus state transfer.
-type Migration struct {
-	Op       int
-	To       int
-	Downtime float64
-}
+// Migration is the substrate-agnostic migration request (see
+// internal/runtime); kept as an alias for existing callers.
+type Migration = runtime.Migration
 
-// Policy is a load-distribution strategy under test: RLD, ROD, or DYN.
-type Policy interface {
-	// Name labels the policy in results.
-	Name() string
-	// Placement returns the initial operator → node assignment.
-	Placement() physical.Assignment
-	// PlanFor selects the logical plan for a batch arriving at time t,
-	// given the monitor's current snapshot.
-	PlanFor(t float64, snap stats.Snapshot) query.Plan
-	// ClassifyOverhead is the per-batch plan-selection work in
-	// cost-units (RLD's ≈2%; zero for static policies).
-	ClassifyOverhead() float64
-	// Rebalance is invoked every control tick with per-node queued work
-	// and the live assignment; a non-nil result migrates one operator.
-	Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *Migration
-	// DecisionOverhead is the per-tick control work in cost-units (DYN's
-	// statistics collection and placement solving; zero for static).
-	DecisionOverhead() float64
-}
+// Policy is the substrate-agnostic load-distribution strategy (see
+// internal/runtime); kept as an alias for existing callers. RLD, ROD, and
+// DYN all implement it once and run on either substrate.
+type Policy = runtime.Policy
 
 // event kinds.
 const (
@@ -329,12 +311,6 @@ func (s *Sim) onBatch(streamName string) {
 	// Classification overhead (RLD): charged to the coordinator and
 	// accounted as runtime overhead (§6.5: ≈2% of execution cost).
 	s.res.OverheadWork += s.pol.ClassifyOverhead()
-	if k := plan.Key(); k != s.lastKey {
-		if s.lastKey != "" {
-			s.res.PlanSwitches++
-		}
-		s.lastKey = k
-	}
 	b := &batch{
 		id:      s.batchID,
 		arrival: s.now,
@@ -350,6 +326,18 @@ func (s *Sim) onBatch(streamName string) {
 	if s.sc.MaxQueue > 0 && s.nodes[entry].queued > s.sc.MaxQueue {
 		s.res.Dropped += b.tuples
 		return
+	}
+	// Batch/plan accounting covers admitted batches only, matching the
+	// live engine (which has no admission shedding) so cross-substrate
+	// Batches/PlanUse comparisons stay aligned under overload.
+	k := plan.Key()
+	s.res.PlanUse[k]++
+	s.res.Batches++
+	if k != s.lastKey {
+		if s.lastKey != "" {
+			s.res.PlanSwitches++
+		}
+		s.lastKey = k
 	}
 	s.enqueueStage(b)
 }
@@ -481,3 +469,26 @@ func Run(sc *Scenario, pol Policy) (*metrics.Runtime, error) {
 	}
 	return s.Run(), nil
 }
+
+// Executor adapts the simulator to the substrate-agnostic
+// runtime.Executor interface: every Execute call runs a fresh copy of the
+// scenario under the given policy and converts the metrics into the shared
+// Report.
+type Executor struct {
+	Scenario *Scenario
+}
+
+// Substrate implements runtime.Executor.
+func (x *Executor) Substrate() string { return "sim" }
+
+// Execute implements runtime.Executor.
+func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
+	sc := *x.Scenario // shallow copy: Run mutates defaulted fields only
+	res, err := Run(&sc, pol)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.FromSim(res), nil
+}
+
+var _ runtime.Executor = (*Executor)(nil)

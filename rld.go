@@ -22,11 +22,19 @@
 //	...
 //	plan, _ := dep.Classify(snapshot)              // per-batch routing
 //
-// Deployments plug into two substrates: a discrete-event simulator
-// (rld.Run, for reproducible experiments — see cmd/rldbench) and a live
-// goroutine dataflow engine (rld.NewEngine, used by the examples). The ROD
-// and DYN baselines of the paper's evaluation are available via NewROD and
-// NewDYN.
+// Deployments plug into two substrates behind one policy layer
+// (internal/runtime): a discrete-event simulator (rld.Run /
+// rld.NewSimExecutor, for reproducible experiments — see cmd/rldbench) and
+// a live sharded multi-worker dataflow engine (rld.NewEngine /
+// rld.NewEngineExecutor, used by the examples). Every load-distribution
+// strategy — RLD itself plus the ROD and DYN baselines of the paper's
+// evaluation (NewROD, NewDYN) — implements the substrate-agnostic
+// rld.Policy interface and runs unchanged on either substrate, both of
+// which fill the shared rld.Report result type:
+//
+//	pol, _ := rld.NewROD(dep)                      // or NewDYN, dep.NewPolicy
+//	simRep, _ := rld.NewSimExecutor(sc).Execute(pol)
+//	engRep, _ := rld.NewEngineExecutor(q, nodes, feed, ecfg).Execute(pol)
 package rld
 
 import (
@@ -45,6 +53,7 @@ import (
 	"rld/internal/physical"
 	"rld/internal/query"
 	"rld/internal/robust"
+	"rld/internal/runtime"
 	"rld/internal/sim"
 	"rld/internal/stats"
 	"rld/internal/stream"
@@ -163,13 +172,51 @@ func NewMonitor(nOps int, alpha, interval float64) *Monitor {
 	return stats.NewMonitor(nOps, alpha, interval)
 }
 
+// Unified runtime substrate (internal/runtime): policies are written once
+// and executed on either the simulator or the live engine.
+type (
+	// Policy is a substrate-agnostic load-distribution strategy (RLD,
+	// ROD, DYN, or custom): plan choice per batch plus placement and
+	// migration decisions per control tick.
+	Policy = runtime.Policy
+	// Migration is one operator relocation request.
+	Migration = runtime.Migration
+	// StaticPolicy runs one fixed plan on one fixed placement.
+	StaticPolicy = runtime.StaticPolicy
+	// Report is the substrate-agnostic result both executors fill.
+	Report = runtime.Report
+	// Executor runs a workload under a Policy: sim or live engine.
+	Executor = runtime.Executor
+	// Feed supplies real tuple batches to a live executor.
+	Feed = runtime.Feed
+	// SimExecutor is the simulator substrate.
+	SimExecutor = sim.Executor
+	// EngineExecutor is the live-engine substrate.
+	EngineExecutor = engine.Executor
+)
+
+// NewSimExecutor wraps a scenario as a runtime.Executor; each Execute call
+// simulates a fresh copy of the scenario under the given policy.
+func NewSimExecutor(sc *Scenario) *SimExecutor { return &sim.Executor{Scenario: sc} }
+
+// NewEngineExecutor builds a live-engine executor that replays feed through
+// query q on nNodes nodes under a policy. Build a fresh Feed per Execute
+// call: the feed is consumed.
+func NewEngineExecutor(q *Query, nNodes int, feed Feed, cfg EngineConfig) *EngineExecutor {
+	return &engine.Executor{Query: q, Nodes: nNodes, Feed: feed, Config: cfg}
+}
+
+// NewSourceFeed merges generator sources into a batch feed in application
+// -time order, stopping at the horizon (seconds).
+func NewSourceFeed(srcs []*Source, batchSize int, horizon float64) Feed {
+	return runtime.NewSourceFeed(srcs, batchSize, horizon)
+}
+
 // Simulation substrate (internal/sim) and baselines (internal/baseline).
 type (
 	// Scenario fixes a simulated workload: true statistic trajectories,
 	// cluster, horizon.
 	Scenario = sim.Scenario
-	// Policy is a load-distribution strategy under simulation.
-	Policy = sim.Policy
 	// Results aggregates a simulation run's metrics.
 	Results = metrics.Runtime
 	// DYNConfig tunes the dynamic load-distribution baseline.
@@ -205,7 +252,19 @@ type (
 	Source = gen.Source
 	// GenConfig carries Table 2's workload defaults.
 	GenConfig = gen.Config
+	// KeyDist draws equi-join keys tracking a target match selectivity.
+	KeyDist = gen.KeyDist
+	// Dist is a sampleable value distribution for tuple payloads.
+	Dist = gen.Dist
+	// UniformDist is the continuous uniform distribution on [A, B).
+	UniformDist = gen.Uniform
 )
+
+// NewSource returns a tuple source for one stream: Poisson arrivals at the
+// rate profile, join keys from keys, payloads from values.
+func NewSource(name string, rate Profile, keys KeyDist, values Dist, seed int64) *Source {
+	return gen.NewSource(name, rate, keys, values, seed)
+}
 
 // DefaultGenConfig returns Table 2's defaults.
 func DefaultGenConfig() GenConfig { return gen.DefaultConfig() }
