@@ -1,0 +1,178 @@
+// Command benchdiff is the CI benchmark-regression gate. It has two
+// modes:
+//
+//	benchdiff -parse bench.txt -out BENCH_PR.json
+//
+// parses `go test -bench` text output into a JSON map of benchmark name →
+// best (minimum) ns/op across -count repetitions, and
+//
+//	benchdiff -old BENCH_BASELINE.json -new BENCH_PR.json -max-regress 0.25
+//
+// compares two such files and exits non-zero if any benchmark present in
+// both regressed by more than the threshold. With -normalize NAME, every
+// value is first divided by that benchmark's value in its own file, so
+// the comparison is relative to a reference workload and cancels
+// machine-speed differences between the machine that produced the
+// committed baseline and the CI runner. Benchmarks present in only one
+// file are reported but never fail the gate (sub-benchmark names such as
+// workers=GOMAXPROCS legitimately vary across machines).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkChaosRecovery-8   3   17925008 ns/op   178525 tuples/s".
+// The -8 GOMAXPROCS suffix is stripped so results compare across core
+// counts.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	parse := flag.String("parse", "", "bench output file to parse into JSON")
+	out := flag.String("out", "", "output path for -parse (default stdout)")
+	oldPath := flag.String("old", "", "baseline JSON (comparison mode)")
+	newPath := flag.String("new", "", "candidate JSON (comparison mode)")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when ns/op grows by more than this fraction")
+	normalize := flag.String("normalize", "", "divide each file's values by this benchmark's value before comparing")
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		if err := runParse(*parse, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case *oldPath != "" && *newPath != "":
+		ok, err := runCompare(*oldPath, *newPath, *maxRegress, *normalize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff: use -parse FILE [-out FILE] or -old FILE -new FILE")
+		os.Exit(2)
+	}
+}
+
+// runParse converts bench text to the JSON map, keeping the minimum ns/op
+// per benchmark across -count repetitions (the least-noisy sample).
+func runParse(path, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	best := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, seen := best[m[1]]; !seen || ns < old {
+			best[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("no benchmark lines in %s", path)
+	}
+	data, err := json.MarshalIndent(best, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// runCompare prints a per-benchmark table and returns false when any
+// shared benchmark regressed past the threshold.
+func runCompare(oldPath, newPath string, maxRegress float64, normalize string) (bool, error) {
+	oldVals, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newVals, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	if normalize != "" {
+		ob, no := oldVals[normalize], newVals[normalize]
+		if ob <= 0 || no <= 0 {
+			// Raw ns/op across different machines is meaningless — the
+			// gate's correctness depends on the reference — so a missing
+			// reference is an error, not a degraded comparison.
+			return false, fmt.Errorf("-normalize %q missing from %s or %s", normalize, oldPath, newPath)
+		}
+		for k, v := range oldVals {
+			oldVals[k] = v / ob
+		}
+		for k, v := range newVals {
+			newVals[k] = v / no
+		}
+	}
+	names := make([]string, 0, len(oldVals))
+	for k := range oldVals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		nv, shared := newVals[name]
+		if !shared {
+			fmt.Printf("%-55s only in baseline (skipped)\n", name)
+			continue
+		}
+		ratio := nv / oldVals[name]
+		verdict := "ok"
+		if name == normalize {
+			verdict = "reference"
+		} else if ratio > 1+maxRegress {
+			verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", 100*maxRegress)
+			ok = false
+		}
+		fmt.Printf("%-55s %+7.1f%%  %s\n", name, 100*(ratio-1), verdict)
+	}
+	for name := range newVals {
+		if _, shared := oldVals[name]; !shared {
+			fmt.Printf("%-55s only in candidate (skipped)\n", name)
+		}
+	}
+	if !ok {
+		fmt.Printf("\nbenchmark gate FAILED: ns/op regressed more than %.0f%% vs %s\n", 100*maxRegress, oldPath)
+	}
+	return ok, nil
+}

@@ -1,8 +1,12 @@
 // Command rldrun simulates a fluctuating streaming workload under the three
 // load-distribution policies of the paper's §6.5 study — ROD, DYN, and RLD
-// — and prints their runtime metrics side by side.
+// — and prints their runtime metrics side by side. With -faults, every
+// policy additionally runs under the scripted fault schedule and the
+// result-completeness versus its own fault-free run is reported.
 //
 //	rldrun -minutes 30 -ratio 2 -nodes 4
+//	rldrun -faults "crash:1@300-420;mode=checkpoint"
+//	rldrun -faults random            # seeded random crash schedule
 package main
 
 import (
@@ -21,6 +25,7 @@ func main() {
 	batch := flag.Int("batch", 50, "ruster (batch) size in tuples")
 	period := flag.Float64("period", 120, "selectivity fluctuation period (seconds)")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	faults := flag.String("faults", "", `fault schedule ("crash:1@300-420;mode=checkpoint", or "random")`)
 	flag.Parse()
 
 	q := rld.NewNWayJoin("Q", *ops, 10)
@@ -63,10 +68,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dyn, err := rld.NewDYN(dep, rld.DefaultDYNConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	sc := &rld.Scenario{
 		Query:        q,
@@ -94,18 +95,63 @@ func main() {
 		}
 	}
 
+	var plan *rld.FaultPlan
+	if *faults == "random" {
+		plan = rld.RandomFaults(rld.DefaultFaultConfig(), *nodes, sc.Horizon, *seed)
+	} else if *faults != "" {
+		if plan, err = rld.ParseFaultPlan(*faults); err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.Validate(*nodes); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	fmt.Printf("%d simulated minutes, ratio %.0f%%, %d nodes × %.0f capacity\n\n",
 		int(*minutes), *ratio*100, *nodes, cl.Nodes[0].Capacity)
 	fmt.Printf("%-6s %13s %13s %11s %11s %10s %9s\n",
 		"policy", "latency ms", "produced", "dropped", "migrations", "downtime", "overhead")
-	for _, pol := range []rld.Policy{rod, dyn, dep.NewPolicy(*batch)} {
+	mkPolicies := func() []rld.Policy {
+		// DYN is stateful: fresh instances per run so the fault-free and
+		// faulted comparisons don't share cooldown clocks or placements.
+		dynP, err := rld.NewDYN(dep, rld.DefaultDYNConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return []rld.Policy{rod, dynP, dep.NewPolicy(*batch)}
+	}
+	baselines := make([]*rld.Results, 3)
+	for i, pol := range mkPolicies() {
 		scCopy := *sc
 		res, err := rld.Run(&scCopy, pol)
 		if err != nil {
 			log.Fatal(err)
 		}
+		baselines[i] = res
 		fmt.Printf("%-6s %13.1f %13.0f %11.0f %11d %9.1fs %8.1f%%\n",
 			res.Policy, res.Latency.MeanMS(), res.Produced, res.Dropped,
 			res.Migrations, res.MigrationDowntime, 100*res.OverheadRatio())
+	}
+
+	if plan == nil {
+		return
+	}
+	fmt.Printf("\nfault schedule: %s\n\n", plan)
+	fmt.Printf("%-6s %13s %13s %11s %11s %10s %9s\n",
+		"policy", "latency ms", "produced", "lost", "migrations", "down", "complete")
+	for i, pol := range mkPolicies() {
+		scCopy := *sc
+		scCopy.Faults = plan
+		res, err := rld.Run(&scCopy, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		complete := 0.0
+		if baselines[i].Produced > 0 {
+			complete = res.Produced / baselines[i].Produced
+		}
+		fmt.Printf("%-6s %13.1f %13.0f %11.0f %11d %9.1fs %8.1f%%\n",
+			res.Policy, res.Latency.MeanMS(), res.Produced, res.TuplesLost,
+			res.Migrations, res.DownSeconds, 100*complete)
 	}
 }

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"testing"
+
+	"rld/internal/runtime"
+)
+
+func TestDYNEvacuatesDownNode(t *testing.T) {
+	ev, cl := fixture()
+	dyn, err := NewDYN(ev, cl, DefaultDYNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := dyn.Placement()
+	// Pick any node that hosts at least one operator and mark it down.
+	downNode := assign[0]
+	loads := make([]float64, cl.N())
+	loads[downNode] = runtime.DownLoad
+
+	var moved []int
+	for tick := 0; tick < 10; tick++ {
+		mig := dyn.Rebalance(float64(tick), loads, assign)
+		if mig == nil {
+			break
+		}
+		if assign[mig.Op] != downNode {
+			t.Fatalf("tick %d evacuated op %d from live node %d", tick, mig.Op, assign[mig.Op])
+		}
+		if mig.To == downNode {
+			t.Fatalf("tick %d migrated onto the down node", tick)
+		}
+		if loads[mig.To] != 0 {
+			// fixture loads are all zero except the sentinel; any live
+			// target is fine, but it must be live.
+			t.Fatalf("tick %d target load %v", tick, loads[mig.To])
+		}
+		assign[mig.Op] = mig.To
+		moved = append(moved, mig.Op)
+	}
+	if len(moved) == 0 {
+		t.Fatal("DYN emitted no emergency re-placement for a down node")
+	}
+	// Every operator left the dead node, one per tick (emergency path
+	// ignores the cooldown).
+	for op, nd := range assign {
+		if nd == downNode {
+			t.Fatalf("op %d still on down node after evacuation", op)
+		}
+	}
+	// With the node evacuated and all loads balanced at zero, DYN goes
+	// quiet again.
+	if mig := dyn.Rebalance(100, loads, assign); mig != nil {
+		t.Fatalf("post-evacuation migration %+v", mig)
+	}
+}
+
+func TestDYNIgnoresDownNodeAsTarget(t *testing.T) {
+	ev, cl := fixture()
+	cfg := DefaultDYNConfig()
+	cfg.ActivationFloor = 10
+	cfg.CooldownSeconds = 1
+	dyn, err := NewDYN(ev, cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := dyn.Placement()
+	// Hot live node, cold down node: the imbalance path must not pick the
+	// dead node as a migration target. Make some live node hot and a
+	// different node down and empty.
+	hot := assign[0]
+	down := (hot + 1) % cl.N()
+	for op, nd := range assign {
+		if nd == down {
+			assign[op] = hot // empty the down node so evacuate() passes
+		}
+	}
+	loads := make([]float64, cl.N())
+	loads[hot] = 1000
+	loads[down] = runtime.DownLoad
+	for tick := 0; tick < 5; tick++ {
+		mig := dyn.Rebalance(float64(tick*10), loads, assign)
+		if mig == nil {
+			continue
+		}
+		if mig.To == down {
+			t.Fatalf("DYN migrated op %d onto a crashed node", mig.Op)
+		}
+		assign[mig.Op] = mig.To
+	}
+}

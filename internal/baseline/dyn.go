@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"math"
 
 	"rld/internal/cluster"
 	"rld/internal/cost"
@@ -113,20 +114,34 @@ func (d *DYN) migrationDowntime(op int) float64 {
 }
 
 // Rebalance implements runtime.Policy: move the heaviest operator from the
-// hottest node to the coldest when imbalance crosses the factor.
+// hottest node to the coldest when imbalance crosses the factor. Crashed
+// nodes (reporting the runtime.DownLoad sentinel) trigger DYN's emergency
+// re-placement path first: their operators are evacuated to the
+// least-loaded live node, one per tick, bypassing the imbalance trigger
+// and the anti-thrash cooldown — the Borealis-style response to a
+// membership change.
 func (d *DYN) Rebalance(t float64, nodeLoads []float64, assign physical.Assignment) *runtime.Migration {
 	d.assign = assign.Clone()
 	if len(nodeLoads) < 2 {
 		return nil
 	}
-	hot, cold := 0, 0
+	if mig := d.evacuate(t, nodeLoads, assign); mig != nil {
+		return mig
+	}
+	hot, cold := -1, -1
 	for i, l := range nodeLoads {
-		if l > nodeLoads[hot] {
+		if runtime.NodeDown(l) {
+			continue // dead nodes are neither sources nor targets here
+		}
+		if hot < 0 || l > nodeLoads[hot] {
 			hot = i
 		}
-		if l < nodeLoads[cold] {
+		if cold < 0 || l < nodeLoads[cold] {
 			cold = i
 		}
+	}
+	if hot < 0 || hot == cold {
+		return nil
 	}
 	if nodeLoads[hot] < d.cfg.ActivationFloor {
 		return nil
@@ -144,6 +159,40 @@ func (d *DYN) Rebalance(t float64, nodeLoads []float64, assign physical.Assignme
 			continue
 		}
 		if t-d.lastMove[op] < d.cooldown {
+			continue
+		}
+		if loads[op] > bestLoad {
+			best, bestLoad = op, loads[op]
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	d.lastMove[best] = t
+	d.assign[best] = cold
+	return &runtime.Migration{Op: best, To: cold, Downtime: d.migrationDowntime(best)}
+}
+
+// evacuate is DYN's failure response: if any node reports the crashed
+// sentinel and still hosts operators, move the heaviest one (by estimate
+// loads under the fixed plan) to the least-loaded live node. Returns nil
+// when no node is down, every down node is already empty, or no live
+// target exists.
+func (d *DYN) evacuate(t float64, nodeLoads []float64, assign physical.Assignment) *runtime.Migration {
+	cold, coldLoad := -1, math.Inf(1)
+	for i, l := range nodeLoads {
+		if !runtime.NodeDown(l) && l < coldLoad {
+			cold, coldLoad = i, l
+		}
+	}
+	if cold < 0 {
+		return nil
+	}
+	center := d.ev.Space().At(d.ev.Space().Center())
+	loads := d.ev.OpLoads(d.plan, center)
+	best, bestLoad := -1, -1.0
+	for op, nd := range assign {
+		if nd < 0 || nd >= len(nodeLoads) || !runtime.NodeDown(nodeLoads[nd]) {
 			continue
 		}
 		if loads[op] > bestLoad {

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"testing"
+
+	"rld/internal/chaos"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/runtime"
+)
+
+// warmProduced is what the 40 S2 warm-up batches of buildBenchBatches
+// contribute to Produced on their own: S2 tuples pass the (other-stream)
+// selection untouched and trivially satisfy their own join, so each sinks
+// as one result.
+const warmProduced = 40 * 50
+
+// newChaosEngine builds a fresh 2-node engine over the bench query
+// (select on node 0, join on node 1).
+func newChaosEngine(t *testing.T) *Engine {
+	t.Helper()
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.MaxFanout = 8
+	e, err := New(q, physical.Assignment{0, 1}, 2, StaticChooser{Plan: query.Plan{0, 1}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	return e
+}
+
+// runFaultFree warms the join window and pushes the probe batches,
+// returning final results — the fault-free reference run.
+func runFaultFree(t *testing.T) Results {
+	t.Helper()
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9
+	warm, probes := buildBenchBatches(q, 16, 50)
+	e := newChaosEngine(t)
+	for _, b := range warm {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	for _, b := range probes {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	return e.Stop()
+}
+
+func TestCrashCheckpointRestoresAndReplays(t *testing.T) {
+	base := runFaultFree(t)
+	if base.Produced <= warmProduced {
+		t.Fatalf("fault-free run produced no joins (%d)", base.Produced)
+	}
+
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9
+	warm, probes := buildBenchBatches(q, 16, 50)
+	e := newChaosEngine(t)
+	for _, b := range warm {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	e.Checkpoint()
+	if err := e.Crash(1, chaos.Checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	// The join node is dead: probe batches pass the selection on node 0
+	// and park at node 1.
+	for _, b := range probes {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain() // must not hang on the parked backlog
+	loads := e.NodeLoads()
+	if !runtime.NodeDown(loads[1]) {
+		t.Fatalf("down node load = %v, want +Inf sentinel", loads[1])
+	}
+	if runtime.NodeDown(loads[0]) {
+		t.Fatal("live node reported down")
+	}
+	if err := e.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	res := e.Stop()
+	if res.Crashes != 1 || res.Restores != 1 {
+		t.Fatalf("crashes=%d restores=%d, want 1/1", res.Crashes, res.Restores)
+	}
+	if res.TuplesLost != 0 {
+		t.Fatalf("checkpoint recovery lost %d tuples", res.TuplesLost)
+	}
+	// The window snapshot covered the whole warm-up and no inserts happen
+	// while down, so the replayed probes see identical state: counts must
+	// match the fault-free run exactly.
+	if res.Produced != base.Produced {
+		t.Fatalf("produced %d after recovery, fault-free %d", res.Produced, base.Produced)
+	}
+}
+
+func TestCrashLoseStateDropsInFlightAndState(t *testing.T) {
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9
+	warm, probes := buildBenchBatches(q, 16, 50)
+	e := newChaosEngine(t)
+	for _, b := range warm {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if err := e.Crash(1, chaos.LoseState); err != nil {
+		t.Fatal(err)
+	}
+	// Probes sent while the join node is dead are destroyed.
+	for _, b := range probes[:8] {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if err := e.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	// The window was discarded: post-recovery probes join against an
+	// empty window and produce nothing.
+	for _, b := range probes[8:] {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	res := e.Stop()
+	// Only the warm-up pass-throughs (sunk before the crash) come out:
+	// probes sent while down died, and post-recovery probes join against
+	// an empty window.
+	if res.Produced != warmProduced {
+		t.Fatalf("produced %d, want %d (no joins against a discarded window)", res.Produced, warmProduced)
+	}
+	if res.TuplesLost == 0 {
+		t.Fatal("lose-state crash recorded no lost tuples")
+	}
+	if res.Crashes != 1 || res.Restores != 0 {
+		t.Fatalf("crashes=%d restores=%d, want 1/0", res.Crashes, res.Restores)
+	}
+}
+
+func TestCrashIdempotentAndErrors(t *testing.T) {
+	e := newChaosEngine(t)
+	if err := e.Crash(5, chaos.Checkpoint); err == nil {
+		t.Fatal("crash of unknown node accepted")
+	}
+	if err := e.Recover(-1); err == nil {
+		t.Fatal("recover of unknown node accepted")
+	}
+	if err := e.Crash(1, chaos.Checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Crash(1, chaos.Checkpoint); err != nil {
+		t.Fatal("re-crash should be a no-op, got", err)
+	}
+	if err := e.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Recover(1); err != nil {
+		t.Fatal("re-recover should be a no-op, got", err)
+	}
+	res := e.Stop()
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1 (idempotent)", res.Crashes)
+	}
+	// No Checkpoint() was ever taken: recovery cleared the window, which
+	// must not be reported as a successful restore.
+	if res.Restores != 0 {
+		t.Fatalf("restores = %d with no snapshot taken", res.Restores)
+	}
+}
+
+func TestStopWhileDownCountsParkedAsLost(t *testing.T) {
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9
+	warm, probes := buildBenchBatches(q, 8, 50)
+	e := newChaosEngine(t)
+	for _, b := range warm {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if err := e.Crash(1, chaos.Checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range probes {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := e.Stop() // node still down: parked backlog has nowhere to go
+	if res.TuplesLost == 0 {
+		t.Fatal("stop while down lost nothing")
+	}
+	if res.Produced != warmProduced {
+		t.Fatalf("produced %d, want %d (join node down for every probe)", res.Produced, warmProduced)
+	}
+}
+
+func TestSlowdownKeepsCountsAndRestores(t *testing.T) {
+	base := runFaultFree(t)
+
+	q := query.NewNWayJoin("B", 2, 100)
+	q.Ops[0].Sel = 0.9
+	warm, probes := buildBenchBatches(q, 16, 50)
+	e := newChaosEngine(t)
+	for _, b := range warm {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if err := e.SetSlowdown(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range probes[:8] {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if err := e.SetSlowdown(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range probes[8:] {
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	res := e.Stop()
+	// A slowdown stretches wall time but must not change what comes out.
+	if res.Produced != base.Produced {
+		t.Fatalf("slowdown changed counts: %d vs %d", res.Produced, base.Produced)
+	}
+	if res.Crashes != 0 || res.TuplesLost != 0 {
+		t.Fatalf("slowdown accounted as failure: crashes=%d lost=%d", res.Crashes, res.TuplesLost)
+	}
+}

@@ -10,6 +10,13 @@
 // with GOMAXPROCS instead of being serialized per node. A QueryMesh-style
 // router assigns each batch its plan from the latest monitored statistics —
 // the RLD runtime of §3, executed on real data.
+//
+// Nodes have a failure lifecycle (internal/chaos): Crash kills a node's
+// worker pool and reaps its inbox — parking work for replay or destroying
+// it, per the recovery mode — while Recover rebuilds join-window state
+// (checkpoint-restore or empty), restarts the pool, and replays the
+// parked backlog; SetSlowdown pauses part of the pool. Crashed nodes
+// report +Inf load so failure-aware policies can evacuate them.
 package engine
 
 import (
@@ -20,8 +27,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rld/internal/chaos"
 	"rld/internal/physical"
 	"rld/internal/query"
+	"rld/internal/runtime"
 	"rld/internal/stats"
 	"rld/internal/stream"
 )
@@ -224,6 +233,41 @@ type Results struct {
 	PlanSwitches int
 	// ObservedSels reports the monitor's final per-op selectivities.
 	ObservedSels []float64
+	// Crashes counts Crash calls applied to the run.
+	Crashes int
+	// TuplesLost counts in-flight partial results discarded because a
+	// node was down in LoseState mode (or still down at Stop).
+	TuplesLost int64
+	// Restores counts checkpoint-restores performed on recovery.
+	Restores int
+}
+
+// nodeState is one simulated node of the live engine: its inbox, worker
+// pool, and failure state. The worker pool is genuinely killed on Crash
+// (goroutines exit) and rebuilt on Recover.
+type nodeState struct {
+	inbox chan *message
+	// active gates the pool during a transient slowdown: workers with
+	// index ≥ active pause without consuming messages, shrinking the
+	// node's effective capacity.
+	active atomic.Int32
+
+	mu sync.Mutex // guards the failure state below
+	// down marks a crashed node: its pool is dead and its inbox is being
+	// reaped (parked for replay in Checkpoint mode, dropped in LoseState).
+	down bool
+	mode chaos.RecoveryMode
+	// parked holds messages awaiting replay on recovery.
+	parked []*message
+	// slow is the current capacity factor in (0, 1].
+	slow float64
+	// quit kills the current worker pool when closed; wg tracks its
+	// membership.
+	quit chan struct{}
+	wg   sync.WaitGroup
+	// reapStop/reapDone bound the inbox reaper that runs while down.
+	reapStop chan struct{}
+	reapDone chan struct{}
 }
 
 // Engine executes one continuous query across simulated nodes.
@@ -238,15 +282,22 @@ type Engine struct {
 	// the control loop).
 	assign atomic.Pointer[physical.Assignment]
 
-	nodes []chan *message
+	nodes []*nodeState
 	ops   []*opState
-	wg    sync.WaitGroup
 
 	pending     atomic.Int64   // in-flight messages, for Drain
 	nodeQueued  []atomic.Int64 // per-node queued+in-service messages
 	produced    atomic.Int64
 	latencyNano atomic.Int64 // summed batch ingress→sink latency
 	statBatches atomic.Int64 // offerStats rate limiter
+	lost        atomic.Int64 // partial results destroyed by faults
+	restores    atomic.Int64 // checkpoint-restores on recovery
+	crashes     atomic.Int64 // Crash calls applied
+
+	// snapMu guards snaps, the latest Checkpoint()'s per-op window
+	// contents (nil until the first checkpoint).
+	snapMu sync.Mutex
+	snaps  [][]*stream.Tuple
 
 	// sendMu fences Ingest against Stop: Ingest holds the read side for
 	// its whole body, and Stop takes the write side after setting the
@@ -320,7 +371,13 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		e.ops = append(e.ops, st)
 	}
 	for i := 0; i < nNodes; i++ {
-		e.nodes = append(e.nodes, make(chan *message, cfg.InboxSize))
+		ns := &nodeState{
+			inbox: make(chan *message, cfg.InboxSize),
+			slow:  1,
+			quit:  make(chan struct{}),
+		}
+		ns.active.Store(int32(cfg.Workers))
+		e.nodes = append(e.nodes, ns)
 	}
 	return e, nil
 }
@@ -334,37 +391,85 @@ func (e *Engine) Start() {
 	}
 	e.started = true
 	for i := range e.nodes {
-		for w := 0; w < e.cfg.Workers; w++ {
-			e.wg.Add(1)
-			go e.worker(i)
-		}
+		e.startPool(i)
 	}
 }
 
-func (e *Engine) worker(id int) {
-	defer e.wg.Done()
-	for msg := range e.nodes[id] {
-		e.process(msg)
-		e.nodeQueued[id].Add(-1)
-		e.pending.Add(-1)
+// startPool spawns node i's worker pool against its current quit channel.
+func (e *Engine) startPool(i int) {
+	ns := e.nodes[i]
+	for w := 0; w < e.cfg.Workers; w++ {
+		ns.wg.Add(1)
+		go e.worker(i, w)
+	}
+}
+
+func (e *Engine) worker(id, idx int) {
+	ns := e.nodes[id]
+	defer ns.wg.Done()
+	for {
+		// Slowdown gate: paused workers (index ≥ active) idle without
+		// consuming messages. One atomic load at full speed; the paused
+		// path polls with Sleep rather than time.After so a long
+		// slowdown doesn't churn timer allocations.
+		for int32(idx) >= ns.active.Load() {
+			select {
+			case <-ns.quit:
+				return
+			default:
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		select {
+		case <-ns.quit:
+			return
+		case msg := <-ns.inbox:
+			e.process(msg)
+			e.nodeQueued[id].Add(-1)
+			e.pending.Add(-1)
+		}
 	}
 }
 
 // send routes a message to the node hosting its current stage's operator.
 // A worker forwarding to its own (or any full) inbox must not block — that
 // would deadlock the pipeline — so full inboxes fall back to an async send;
-// Drain still accounts for the message via the pending counter.
+// Drain still accounts for the message via the pending counter. Messages
+// routed to a crashed node are parked for replay on recovery (Checkpoint
+// mode) or destroyed (LoseState); parked messages leave the pending count
+// so Drain does not wait out an outage.
 func (e *Engine) send(msg *message) {
 	op := msg.plan[msg.stage]
 	node := (*e.assign.Load())[op]
+	ns := e.nodes[node]
+	ns.mu.Lock()
+	if ns.down {
+		if ns.mode == chaos.Checkpoint {
+			ns.parked = append(ns.parked, msg)
+			ns.mu.Unlock()
+			return
+		}
+		ns.mu.Unlock()
+		e.lose(msg)
+		return
+	}
+	ns.mu.Unlock()
 	e.pending.Add(1)
 	e.nodeQueued[node].Add(1)
-	ch := e.nodes[node]
 	select {
-	case ch <- msg:
+	case ns.inbox <- msg:
 	default:
-		go func() { ch <- msg }()
+		go func() { ns.inbox <- msg }()
 	}
+}
+
+// lose destroys a message routed to (or stranded on) a dead node,
+// accounting its in-flight partial results as lost tuples.
+func (e *Engine) lose(msg *message) {
+	e.lost.Add(int64(len(msg.partials)))
+	putPartials(msg.partials)
+	*msg = message{}
+	msgPool.Put(msg)
 }
 
 // process executes one stage and forwards or sinks the batch.
@@ -569,15 +674,235 @@ func (e *Engine) Migrate(op, node int) error {
 	return nil
 }
 
+// Crash takes a node down: its worker pool is killed (the goroutines
+// exit after finishing their in-flight batch — the crash boundary is the
+// inbox), and everything queued or subsequently routed to it is reaped:
+// parked for replay on recovery under chaos.Checkpoint, destroyed and
+// counted as lost under chaos.LoseState. Crashing a crashed node is a
+// no-op. Crash must be called from the control goroutine (like Migrate).
+func (e *Engine) Crash(node int, mode chaos.RecoveryMode) error {
+	if node < 0 || node >= len(e.nodes) {
+		return fmt.Errorf("engine: crash unknown node %d", node)
+	}
+	ns := e.nodes[node]
+	ns.mu.Lock()
+	if ns.down {
+		ns.mu.Unlock()
+		return nil
+	}
+	ns.down = true
+	ns.mode = mode
+	ns.reapStop = make(chan struct{})
+	ns.reapDone = make(chan struct{})
+	quit := ns.quit
+	ns.mu.Unlock()
+	e.crashes.Add(1)
+	close(quit)
+	ns.wg.Wait()
+	go e.reap(node)
+	return nil
+}
+
+// reap empties a down node's inbox for the duration of the outage —
+// including async-fallback senders that raced the crash — keeping the
+// pending count honest so Drain never waits on a dead node.
+func (e *Engine) reap(node int) {
+	ns := e.nodes[node]
+	defer close(ns.reapDone)
+	take := func(msg *message) {
+		e.nodeQueued[node].Add(-1)
+		e.pending.Add(-1)
+		ns.mu.Lock()
+		if ns.mode == chaos.Checkpoint {
+			ns.parked = append(ns.parked, msg)
+			ns.mu.Unlock()
+			return
+		}
+		ns.mu.Unlock()
+		e.lose(msg)
+	}
+	for {
+		select {
+		case msg := <-ns.inbox:
+			take(msg)
+		case <-ns.reapStop:
+			// Final sweep: catch anything that landed before the stop.
+			for {
+				select {
+				case msg := <-ns.inbox:
+					take(msg)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Recover brings a crashed node back: the inbox reaper is stopped, the
+// node's operators' join-window state is rebuilt (restored from the last
+// Checkpoint snapshot under chaos.Checkpoint — tuples newer than the
+// snapshot are lost — or cleared under chaos.LoseState), a fresh worker
+// pool is started, and parked messages are replayed through the current
+// routing table (so they follow any migrations made during the outage).
+// Recovering a live node is a no-op.
+func (e *Engine) Recover(node int) error {
+	if node < 0 || node >= len(e.nodes) {
+		return fmt.Errorf("engine: recover unknown node %d", node)
+	}
+	ns := e.nodes[node]
+	ns.mu.Lock()
+	if !ns.down {
+		ns.mu.Unlock()
+		return nil
+	}
+	mode := ns.mode
+	ns.mu.Unlock()
+	close(ns.reapStop)
+	<-ns.reapDone
+	// Rebuild join-window state for the operators this node currently
+	// hosts (operators migrated away during the outage kept their state:
+	// the engine's state is shared memory, see Migrate).
+	assign := *e.assign.Load()
+	for op, n := range assign {
+		if n != node || e.ops[op].op.Kind != query.Join {
+			continue
+		}
+		if mode == chaos.Checkpoint {
+			if e.restoreOp(op) {
+				e.restores.Add(1)
+			}
+		} else {
+			e.clearOp(op)
+		}
+	}
+	// Fresh pool against a fresh quit channel, honoring any slowdown
+	// still in effect.
+	ns.mu.Lock()
+	ns.quit = make(chan struct{})
+	ns.active.Store(e.activeWorkers(ns.slow))
+	ns.mu.Unlock()
+	e.startPool(node)
+	// Flip live and take the parked backlog atomically: later sends go
+	// straight to the inbox, everything parked before the flip replays.
+	ns.mu.Lock()
+	ns.down = false
+	parked := ns.parked
+	ns.parked = nil
+	ns.mu.Unlock()
+	for _, m := range parked {
+		e.send(m)
+	}
+	return nil
+}
+
+// SetSlowdown runs a node at the given capacity factor by pausing part of
+// its worker pool: factor 1 restores full speed. The granularity is one
+// worker, so a single-worker node cannot slow below full speed — size
+// Workers accordingly in slowdown experiments.
+func (e *Engine) SetSlowdown(node int, factor float64) error {
+	if node < 0 || node >= len(e.nodes) {
+		return fmt.Errorf("engine: slowdown unknown node %d", node)
+	}
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	ns := e.nodes[node]
+	ns.mu.Lock()
+	ns.slow = factor
+	down := ns.down
+	ns.mu.Unlock()
+	if !down {
+		ns.active.Store(e.activeWorkers(factor))
+	}
+	return nil
+}
+
+// activeWorkers maps a capacity factor to an unpaused-worker count.
+func (e *Engine) activeWorkers(factor float64) int32 {
+	if factor >= 1 {
+		return int32(e.cfg.Workers)
+	}
+	n := int32(math.Ceil(float64(e.cfg.Workers) * factor))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Checkpoint snapshots every join operator's current window contents; the
+// latest snapshot is what Checkpoint-mode recovery restores. The executor
+// calls it on a periodic virtual-time cadence (FaultPlan.SnapshotEvery).
+func (e *Engine) Checkpoint() {
+	snaps := make([][]*stream.Tuple, len(e.ops))
+	for i, st := range e.ops {
+		if st.op.Kind != query.Join {
+			continue
+		}
+		var buf []*stream.Tuple
+		for _, sh := range st.shards {
+			sh.mu.Lock()
+			buf = append(buf, sh.window.All()...)
+			sh.mu.Unlock()
+		}
+		snaps[i] = buf
+	}
+	e.snapMu.Lock()
+	e.snaps = snaps
+	e.snapMu.Unlock()
+}
+
+// clearOp discards an operator's window state (LoseState recovery).
+func (e *Engine) clearOp(op int) {
+	st := e.ops[op]
+	total := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		total += sh.window.Len()
+		sh.window = stream.NewWindow(st.span)
+		sh.mu.Unlock()
+	}
+	st.winLen.Add(int64(-total))
+}
+
+// restoreOp replaces an operator's window state with the latest
+// Checkpoint snapshot and reports whether one existed: with no snapshot
+// ever taken the window is cleared (equivalent to LoseState) and the
+// restore must not be counted as one.
+func (e *Engine) restoreOp(op int) bool {
+	e.snapMu.Lock()
+	taken := e.snaps != nil
+	var snap []*stream.Tuple
+	if taken {
+		snap = e.snaps[op]
+	}
+	e.snapMu.Unlock()
+	e.clearOp(op)
+	st := e.ops[op]
+	for _, t := range snap {
+		st.insert(t)
+	}
+	return taken
+}
+
 // NodeLoads returns the per-node queued message counts — the live engine's
 // analogue of the simulator's queued cost-units, fed to Policy.Rebalance.
 // The unit differs from the simulator's: policies with absolute thresholds
 // calibrated in cost-units (DYNConfig.ActivationFloor) need engine-specific
-// tuning; relative imbalance factors carry over as-is.
+// tuning; relative imbalance factors carry over as-is. Crashed nodes
+// report the runtime.DownLoad sentinel (+Inf) so failure-aware policies
+// can evacuate their operators.
 func (e *Engine) NodeLoads() []float64 {
 	out := make([]float64, len(e.nodeQueued))
-	for i := range e.nodeQueued {
-		out[i] = float64(e.nodeQueued[i].Load())
+	for i, ns := range e.nodes {
+		ns.mu.Lock()
+		down := ns.down
+		ns.mu.Unlock()
+		if down {
+			out[i] = runtime.DownLoad
+		} else {
+			out[i] = float64(e.nodeQueued[i].Load())
+		}
 	}
 	return out
 }
@@ -604,15 +929,36 @@ func (e *Engine) Stop() Results {
 	// Barrier: wait out any Ingest that passed its stopped-check before
 	// the flag flipped; new Ingests are now rejected.
 	e.sendMu.Lock()
-	e.sendMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	e.sendMu.Unlock()
 	// Drain AFTER the barrier: every accounted message (including async
 	// fallback senders parked on full inboxes) is delivered and
-	// processed before the channels close.
+	// processed before the pools shut down.
 	e.Drain()
-	for _, ch := range e.nodes {
-		close(ch)
+	for _, ns := range e.nodes {
+		ns.mu.Lock()
+		down := ns.down
+		ns.mu.Unlock()
+		if down {
+			// A node still down at shutdown: stop its reaper and count
+			// its parked backlog as lost — there is no recovery to replay
+			// into.
+			close(ns.reapStop)
+			<-ns.reapDone
+			ns.mu.Lock()
+			parked := ns.parked
+			ns.parked = nil
+			ns.mu.Unlock()
+			for _, m := range parked {
+				e.lose(m)
+			}
+		} else {
+			close(ns.quit)
+		}
 	}
-	e.wg.Wait()
+	for _, ns := range e.nodes {
+		ns.wg.Wait()
+	}
 	// Final forced sample so results reflect the fully processed run,
 	// not the last rate-limited offer.
 	e.offerStats(true)
@@ -629,6 +975,9 @@ func (e *Engine) results() Results {
 		Batches:      e.batches,
 		PlanSwitches: e.switches,
 		PlanUse:      make(map[string]int64, len(e.planUse)),
+		Crashes:      int(e.crashes.Load()),
+		TuplesLost:   e.lost.Load(),
+		Restores:     int(e.restores.Load()),
 	}
 	for k, v := range e.planUse {
 		r.PlanUse[k] = v

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"rld/internal/chaos"
 	"rld/internal/query"
 	"rld/internal/runtime"
 	"rld/internal/stats"
@@ -29,10 +31,27 @@ type Executor struct {
 	// TickEvery is the control (Rebalance) period in virtual seconds
 	// (default 5, matching the simulator's default).
 	TickEvery float64
+	// Faults is an optional scripted fault schedule injected as virtual
+	// time advances: crashes kill the node's worker pool (with
+	// park-and-replay or lose-state recovery per the plan's mode, and
+	// periodic window checkpoints in Checkpoint mode), slowdowns shrink
+	// it. Nil runs fault-free.
+	Faults *chaos.FaultPlan
+	// Horizon is the run's virtual-time end in seconds, mirroring the
+	// simulator's Scenario.Horizon: fault events up to it fire even if
+	// the feed's last batch arrives earlier, nodes still down at the end
+	// accrue downtime to it and keep their parked backlog lost (the
+	// sim's hard cut) — so the same FaultPlan yields the same fault
+	// accounting on both substrates. 0 means the feed's last batch
+	// timestamp.
+	Horizon float64
 }
 
 // Substrate implements runtime.Executor.
 func (x *Executor) Substrate() string { return "engine" }
+
+// SetFaults implements runtime.FaultInjector.
+func (x *Executor) SetFaults(fp *chaos.FaultPlan) { x.Faults = fp }
 
 // Execute implements runtime.Executor: run the feed to exhaustion under
 // pol and report the outcome.
@@ -46,6 +65,9 @@ func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 	chooser := ChooserFunc(func(snap stats.Snapshot) query.Plan {
 		return pol.PlanFor(now, snap)
 	})
+	if err := x.Faults.Validate(x.Nodes); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	e, err := New(x.Query, pol.Placement(), x.Nodes, chooser, x.Config)
 	if err != nil {
 		return nil, err
@@ -60,12 +82,59 @@ func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 	migrations := 0
 	downtime := 0.0
 	overhead := 0.0
+	// Fault-injection state: scripted faults apply as virtual time passes
+	// their edges; Checkpoint mode also snapshots windows periodically.
+	var cursor *chaos.Cursor
+	nextCkpt := math.Inf(1)
+	downSince := make(map[int]float64)
+	downSeconds := 0.0
+	if !x.Faults.Empty() {
+		cursor = x.Faults.Cursor()
+		if x.Faults.Mode == chaos.Checkpoint {
+			nextCkpt = x.Faults.SnapshotEvery()
+		}
+	}
+	applyFaults := func(now float64) {
+		// Checkpoints interleave with fault edges in time order as far as
+		// the batch granularity allows; snapshotting first gives a crash
+		// at the same boundary the freshest possible state. When virtual
+		// time jumps several periods at once only one snapshot is taken —
+		// intermediate ones would be overwritten unread.
+		if now >= nextCkpt {
+			e.Checkpoint()
+			for now >= nextCkpt {
+				nextCkpt += x.Faults.SnapshotEvery()
+			}
+		}
+		if cursor == nil {
+			return
+		}
+		for _, ev := range cursor.Advance(now) {
+			f := ev.Fault
+			switch {
+			case f.Kind == chaos.Crash && ev.Begin:
+				if err := e.Crash(f.Node, x.Faults.Mode); err == nil {
+					downSince[f.Node] = ev.T
+				}
+			case f.Kind == chaos.Crash && !ev.Begin:
+				if err := e.Recover(f.Node); err == nil {
+					downSeconds += ev.T - downSince[f.Node]
+					delete(downSince, f.Node)
+				}
+			case f.Kind == chaos.Slowdown && ev.Begin:
+				e.SetSlowdown(f.Node, f.Factor)
+			case f.Kind == chaos.Slowdown && !ev.Begin:
+				e.SetSlowdown(f.Node, 1)
+			}
+		}
+	}
 	for b := x.Feed.Next(); b != nil; b = x.Feed.Next() {
 		if n := b.Len(); n > 0 {
 			if t := float64(b.Tuples[n-1].Ts); t > now {
 				now = t
 			}
 		}
+		applyFaults(now)
 		if err := e.Ingest(b); err != nil {
 			e.Stop()
 			return nil, err
@@ -101,6 +170,19 @@ func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 			}
 		}
 	}
+	// The feed is exhausted; fire the remaining fault events up to the
+	// horizon (the simulator fires them as discrete events regardless of
+	// arrivals). A node whose scripted recovery lies beyond the horizon
+	// stays down — mirroring the simulator's hard cut — so Stop counts
+	// its parked backlog as lost; only its downtime is finalized here.
+	end := x.Horizon
+	if end < now {
+		end = now
+	}
+	applyFaults(end)
+	for _, since := range downSince {
+		downSeconds += end - since
+	}
 	res := e.Stop()
 	return &runtime.Report{
 		Policy:            pol.Name(),
@@ -115,7 +197,11 @@ func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 		MigrationDowntime: downtime,
 		OverheadWork:      overhead,
 		WallSeconds:       time.Since(start).Seconds(),
+		Crashes:           res.Crashes,
+		DownSeconds:       downSeconds,
+		TuplesLost:        float64(res.TuplesLost),
+		Restores:          res.Restores,
 	}, nil
 }
 
-var _ runtime.Executor = (*Executor)(nil)
+var _ runtime.FaultInjector = (*Executor)(nil)

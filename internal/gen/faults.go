@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"math/rand"
+
+	"rld/internal/chaos"
+)
+
+// FaultConfig parameterizes random fault-schedule generation for chaos
+// experiments: how many crashes and slowdowns to script over a run, how
+// long outages last, and the recovery semantics.
+type FaultConfig struct {
+	// Crashes is the number of crash+recovery outages (default 1).
+	Crashes int
+	// Slowdowns is the number of transient slowdown intervals.
+	Slowdowns int
+	// MeanOutage is the mean outage length in seconds (default: 5% of
+	// the horizon); realized lengths jitter ±50% around it.
+	MeanOutage float64
+	// SlowFactor is the slowed node's capacity multiplier (default 0.5).
+	SlowFactor float64
+	// Mode selects crash-recovery semantics.
+	Mode chaos.RecoveryMode
+	// CheckpointEvery is the snapshot period (0 = chaos default).
+	CheckpointEvery float64
+}
+
+// DefaultFaultConfig returns a single checkpoint-recovered crash.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{Crashes: 1, Mode: chaos.Checkpoint}
+}
+
+// Faults draws a deterministic random fault schedule for an nNodes
+// cluster over [0, horizon): outages are placed in disjoint slots of the
+// middle 80% of the run, so at most one fault is active at a time and the
+// system always has warm-up and drain margins. The same seed yields the
+// same schedule — the point of scripted chaos is that every policy sees
+// an identical failure scenario.
+func Faults(cfg FaultConfig, nNodes int, horizon float64, seed int64) *chaos.FaultPlan {
+	if cfg.Crashes < 0 {
+		cfg.Crashes = 0
+	}
+	if cfg.Slowdowns < 0 {
+		cfg.Slowdowns = 0
+	}
+	n := cfg.Crashes + cfg.Slowdowns
+	plan := &chaos.FaultPlan{Mode: cfg.Mode, CheckpointEvery: cfg.CheckpointEvery}
+	if n == 0 || nNodes < 1 || horizon <= 0 {
+		return plan
+	}
+	mean := cfg.MeanOutage
+	if mean <= 0 {
+		mean = 0.05 * horizon
+	}
+	factor := cfg.SlowFactor
+	if factor <= 0 || factor > 1 {
+		factor = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo, hi := 0.1*horizon, 0.9*horizon
+	slot := (hi - lo) / float64(n)
+	for i := 0; i < n; i++ {
+		dur := mean * (0.5 + rng.Float64()) // ±50% jitter
+		if dur > 0.8*slot {
+			dur = 0.8 * slot // outages never overlap slot boundaries
+		}
+		start := lo + float64(i)*slot + rng.Float64()*(slot-dur)
+		f := chaos.Fault{Node: rng.Intn(nNodes), At: start, Until: start + dur}
+		if i >= cfg.Crashes {
+			f.Kind = chaos.Slowdown
+			f.Factor = factor
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}

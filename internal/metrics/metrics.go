@@ -140,6 +140,13 @@ type Runtime struct {
 	PlanSwitches int
 	// Dropped counts tuples shed by overloaded admission queues.
 	Dropped float64
+	// Crashes counts node-crash faults applied during the run.
+	Crashes int
+	// DownSeconds is the summed virtual time nodes spent crashed.
+	DownSeconds float64
+	// TuplesLost counts expected result tuples discarded because a node
+	// was down (queued work lost at crash or work routed to a dead node).
+	TuplesLost float64
 }
 
 // NewRuntime returns an empty result set for a policy.

@@ -1,0 +1,203 @@
+package runtime_test
+
+// Cross-substrate fault conformance: the same fault schedule applied to
+// the same workload must degrade both substrates comparably. The
+// simulator models a crash as zero capacity (queue dropped or frozen per
+// the recovery mode); the engine genuinely kills the node's worker pool
+// and rebuilds join-window state on recovery — different mechanisms, so
+// the check compares *completeness* (faulted produced / fault-free
+// produced) rather than raw counts.
+//
+// The file also holds the chaos acceptance scenario: under a scripted
+// single-node crash+recovery on the live engine, RLD's robust plan needs
+// no migration yet keeps ≥90% result-completeness, while DYN's recovery
+// path emits emergency re-placement migrations under the identical
+// schedule.
+
+import (
+	"math"
+	"testing"
+
+	"rld/internal/chaos"
+	"rld/internal/cluster"
+	"rld/internal/query"
+	rt "rld/internal/runtime"
+)
+
+// confFaultPlan crashes node 1 for [150, 210) — 10% of the 600 s horizon.
+func confFaultPlan(mode chaos.RecoveryMode) *chaos.FaultPlan {
+	return &chaos.FaultPlan{
+		Mode:            mode,
+		CheckpointEvery: 30,
+		Faults:          []chaos.Fault{{Kind: chaos.Crash, Node: 1, At: 150, Until: 210}},
+	}
+}
+
+// completenessOn runs pol fresh on ex with and without the fault plan and
+// returns (completeness, faulted report).
+func completenessOn(t *testing.T, mk func() rt.Executor, mkPol func() rt.Policy, fp *chaos.FaultPlan) (float64, *rt.Report) {
+	t.Helper()
+	base, err := mk().Execute(mkPol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, ok := mk().(rt.FaultInjector)
+	if !ok {
+		t.Fatal("executor is not a FaultInjector")
+	}
+	fx.SetFaults(fp)
+	faulted, err := fx.Execute(mkPol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Produced == 0 {
+		t.Fatal("fault-free run produced nothing")
+	}
+	return rt.Completeness(faulted, base), faulted
+}
+
+func TestChaosConformanceSimVsEngine(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	mkPol := func() rt.Policy {
+		return &rt.StaticPolicy{
+			PolicyName: "FIXED",
+			Plan:       query.Plan{1, 0},
+			Assign:     []int{0, 1},
+		}
+	}
+	mkSim := func() rt.Executor { return conformanceSimExecutor(q, cl) }
+	mkEng := func() rt.Executor { return conformanceEngineExecutor(q, cl) }
+
+	for _, mode := range []chaos.RecoveryMode{chaos.Checkpoint, chaos.LoseState} {
+		fp := confFaultPlan(mode)
+		simC, simRep := completenessOn(t, mkSim, mkPol, fp)
+		engC, engRep := completenessOn(t, mkEng, mkPol, fp)
+		t.Logf("mode=%s: sim completeness %.4f (lost %.0f), engine completeness %.4f (lost %.0f)",
+			mode, simC, simRep.TuplesLost, engC, engRep.TuplesLost)
+		for _, rep := range []*rt.Report{simRep, engRep} {
+			if rep.Crashes != 1 {
+				t.Errorf("mode=%s %s: crashes = %d, want 1", mode, rep.Substrate, rep.Crashes)
+			}
+			if math.Abs(rep.DownSeconds-60) > 1e-6 {
+				t.Errorf("mode=%s %s: down seconds = %v, want 60", mode, rep.Substrate, rep.DownSeconds)
+			}
+		}
+		// The substrates degrade through different mechanisms (dropped
+		// cost-units vs real window loss), so the agreement band is wider
+		// than the fault-free conformance check's 15%.
+		if math.Abs(simC-engC) > 0.20 {
+			t.Errorf("mode=%s: sim completeness %.4f vs engine %.4f (>0.20 apart)", mode, simC, engC)
+		}
+		switch mode {
+		case chaos.Checkpoint:
+			// Parked work replays on recovery: close to lossless.
+			if simC < 0.95 || engC < 0.85 {
+				t.Errorf("checkpoint completeness too low: sim %.4f engine %.4f", simC, engC)
+			}
+			if simRep.TuplesLost != 0 {
+				t.Errorf("sim checkpoint mode lost %v tuples", simRep.TuplesLost)
+			}
+			if engRep.Restores == 0 {
+				t.Error("engine checkpoint recovery restored nothing")
+			}
+		case chaos.LoseState:
+			// A 10% outage of the only path loses roughly 10% of output
+			// (more on the engine: the join window rebuilds from empty).
+			if simC > 0.97 || engC > 0.97 {
+				t.Errorf("lose-state should visibly cost output: sim %.4f engine %.4f", simC, engC)
+			}
+			if simC < 0.70 || engC < 0.60 {
+				t.Errorf("lose-state completeness implausibly low: sim %.4f engine %.4f", simC, engC)
+			}
+			if simRep.TuplesLost == 0 || engRep.TuplesLost == 0 {
+				t.Errorf("lose-state lost nothing: sim %v engine %v", simRep.TuplesLost, engRep.TuplesLost)
+			}
+		}
+	}
+}
+
+// TestChaosHorizonClippingParity pins the edge alignment between the
+// substrates: a crash whose scripted recovery lies beyond the horizon
+// leaves the node down on both — downtime accrues to the horizon and the
+// backlog frozen/parked behind the dead node counts as lost rather than
+// silently replaying on one substrate only.
+func TestChaosHorizonClippingParity(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	fp := &chaos.FaultPlan{
+		Mode:   chaos.Checkpoint,
+		Faults: []chaos.Fault{{Kind: chaos.Crash, Node: 1, At: confHorizon - 20, Until: confHorizon + 100}},
+	}
+	pol := func() rt.Policy {
+		return &rt.StaticPolicy{PolicyName: "FIXED", Plan: query.Plan{1, 0}, Assign: []int{0, 1}}
+	}
+	for _, mk := range []func() rt.Executor{
+		func() rt.Executor { return conformanceSimExecutor(q, cl) },
+		func() rt.Executor { return conformanceEngineExecutor(q, cl) },
+	} {
+		ex := mk().(rt.FaultInjector)
+		ex.SetFaults(fp)
+		rep, err := ex.Execute(pol())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Crashes != 1 {
+			t.Errorf("%s: crashes = %d, want 1", rep.Substrate, rep.Crashes)
+		}
+		if math.Abs(rep.DownSeconds-20) > 1.0 {
+			t.Errorf("%s: down seconds = %v, want ≈20 (clipped at the horizon)", rep.Substrate, rep.DownSeconds)
+		}
+		if rep.TuplesLost == 0 {
+			t.Errorf("%s: work stranded behind the still-down node was not counted as lost", rep.Substrate)
+		}
+	}
+}
+
+// TestChaosAcceptanceRLDvsDYN is the acceptance scenario: a scripted
+// single-node crash+recovery on the live engine under checkpoint
+// recovery. RLD completes with ≥90% of the fault-free output and zero
+// migrations; DYN's failure response emits at least one emergency
+// re-placement migration under the identical schedule.
+func TestChaosAcceptanceRLDvsDYN(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	fp := confFaultPlan(chaos.Checkpoint)
+
+	// Index 0 of conformancePolicies is the RLD deployment policy, 2 is
+	// DYN; fresh instances per run (DYN is stateful).
+	rldBase, err := conformanceEngineExecutor(q, cl).Execute(conformancePolicies(t, q, cl)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := conformanceEngineExecutor(q, cl).(rt.FaultInjector)
+	ex.SetFaults(fp)
+	rldFaulted, err := ex.Execute(conformancePolicies(t, q, cl)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := rt.Completeness(rldFaulted, rldBase)
+	t.Logf("RLD: fault-free %.0f, faulted %.0f, completeness %.4f, migrations %d",
+		rldBase.Produced, rldFaulted.Produced, comp, rldFaulted.Migrations)
+	if comp < 0.90 {
+		t.Errorf("RLD completeness %.4f < 0.90 under crash+recovery", comp)
+	}
+	if rldFaulted.Migrations != 0 {
+		t.Errorf("RLD migrated %d times; the robust plan needs none", rldFaulted.Migrations)
+	}
+	if rldFaulted.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", rldFaulted.Crashes)
+	}
+
+	ex = conformanceEngineExecutor(q, cl).(rt.FaultInjector)
+	ex.SetFaults(fp)
+	dynFaulted, err := ex.Execute(conformancePolicies(t, q, cl)[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("DYN: faulted %.0f, migrations %d, downtime %.2fs",
+		dynFaulted.Produced, dynFaulted.Migrations, dynFaulted.MigrationDowntime)
+	if dynFaulted.Migrations < 1 {
+		t.Errorf("DYN emitted no re-placement migration under the fault schedule")
+	}
+}

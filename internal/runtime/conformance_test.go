@@ -118,10 +118,11 @@ func conformanceEngineExecutor(q *query.Query, cl *cluster.Cluster) rt.Executor 
 	ecfg := engine.DefaultConfig()
 	ecfg.MaxFanout = 0 // counts must not be clipped
 	return &engine.Executor{
-		Query:  q,
-		Nodes:  cl.N(),
-		Feed:   rt.NewSourceFeed(srcs, confBatch, confHorizon),
-		Config: ecfg,
+		Query:   q,
+		Nodes:   cl.N(),
+		Feed:    rt.NewSourceFeed(srcs, confBatch, confHorizon),
+		Config:  ecfg,
+		Horizon: confHorizon, // fault accounting clips where the sim's does
 	}
 }
 

@@ -10,11 +10,26 @@
 package runtime
 
 import (
+	"math"
+
+	"rld/internal/chaos"
 	"rld/internal/metrics"
 	"rld/internal/physical"
 	"rld/internal/query"
 	"rld/internal/stats"
 )
+
+// DownLoad is the sentinel per-node load value executors report to
+// Policy.Rebalance for a crashed node: +Inf, so threshold-based policies
+// naturally treat a dead node as infinitely overloaded. Policies that
+// respond to failures (DYN's emergency re-placement) detect it with
+// math.IsInf; policies that ignore loads (RLD, ROD, static) need no
+// change.
+var DownLoad = math.Inf(1)
+
+// NodeDown reports whether a Rebalance load value is the crashed-node
+// sentinel.
+func NodeDown(load float64) bool { return math.IsInf(load, 1) }
 
 // Migration moves one operator to another node, pausing it for Downtime
 // seconds of suspension plus state transfer (only DYN-style policies emit
@@ -125,6 +140,16 @@ type Report struct {
 	QueryWork float64
 	// WallSeconds is the wall-clock duration of the run (engine only).
 	WallSeconds float64
+	// Crashes counts node-crash faults applied during the run.
+	Crashes int
+	// DownSeconds is the summed virtual time nodes spent crashed.
+	DownSeconds float64
+	// TuplesLost counts tuples (source tuples or in-flight partial
+	// results) discarded because of node failures.
+	TuplesLost float64
+	// Restores counts checkpoint-restores performed on node recovery
+	// (engine, Checkpoint mode only).
+	Restores int
 }
 
 // OutputRatio returns Produced/Ingested (0 when nothing was ingested) — the
@@ -139,6 +164,17 @@ func (r *Report) OutputRatio() float64 {
 // PlanCount returns the number of distinct logical plans used.
 func (r *Report) PlanCount() int { return len(r.PlanUse) }
 
+// Completeness returns the faulted run's produced-result count as a
+// fraction of a fault-free baseline run — the robustness metric the chaos
+// experiments compare across policies (1 = no results lost to the fault
+// schedule; 0 when the baseline produced nothing).
+func Completeness(faulted, baseline *Report) float64 {
+	if baseline == nil || baseline.Produced == 0 || faulted == nil {
+		return 0
+	}
+	return faulted.Produced / baseline.Produced
+}
+
 // Executor is one runtime substrate: something that can execute a workload
 // under a Policy and report the outcome. internal/sim and internal/engine
 // each provide one.
@@ -147,6 +183,18 @@ type Executor interface {
 	Substrate() string
 	// Execute runs the configured workload under pol.
 	Execute(pol Policy) (*Report, error)
+}
+
+// FaultInjector is an Executor that can run its workload under a scripted
+// fault plan: node crashes, recoveries, and transient slowdowns injected
+// at virtual-time boundaries. Both substrates implement it, so the same
+// FaultPlan yields identical failure scenarios for every policy on either
+// substrate.
+type FaultInjector interface {
+	Executor
+	// SetFaults installs the fault schedule for subsequent Execute calls
+	// (nil clears it).
+	SetFaults(fp *chaos.FaultPlan)
 }
 
 // FromSim converts the simulator's metrics into the shared Report.
@@ -165,6 +213,9 @@ func FromSim(res *metrics.Runtime) *Report {
 		MigrationDowntime: res.MigrationDowntime,
 		OverheadWork:      res.OverheadWork,
 		QueryWork:         res.QueryWork,
+		Crashes:           res.Crashes,
+		DownSeconds:       res.DownSeconds,
+		TuplesLost:        res.TuplesLost,
 	}
 	for k, v := range res.PlanUse {
 		r.PlanUse[k] = v

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rld/internal/chaos"
 	"rld/internal/cluster"
 	"rld/internal/gen"
 	"rld/internal/metrics"
@@ -50,6 +51,11 @@ type Scenario struct {
 	// the probed stream's rate, so total work scales linearly with input
 	// rates instead of quadratically. The §6.5 experiments use this mode.
 	CountWindows bool
+	// Faults is an optional scripted fault schedule: crashed nodes serve
+	// nothing while down; their queued work is dropped (chaos.LoseState)
+	// or held for replay on recovery (chaos.Checkpoint), and slowed nodes
+	// serve at a fraction of capacity. Nil runs fault-free.
+	Faults *chaos.FaultPlan
 	// Seed drives arrival jitter.
 	Seed int64
 }
@@ -129,15 +135,22 @@ const (
 	evMigrationEnd
 	evTick
 	evSample
+	evFaultBegin
+	evFaultEnd
 )
 
 type event struct {
 	t    float64
 	kind int
-	// stream for evBatch; node for evStageDone; op for evMigrationEnd.
+	// stream for evBatch; node for evStageDone; op for evMigrationEnd;
+	// fault indexes Scenario.Faults.Faults for evFaultBegin/End.
 	stream string
 	node   int
 	op     int
+	fault  int
+	// epoch stamps evStageDone with the node's crash epoch: a crash
+	// voids the in-flight service completion by bumping the epoch.
+	epoch int
 	// poll marks an evBatch that only re-checks a zero-rate stream and
 	// must not admit a batch.
 	poll bool
@@ -188,6 +201,14 @@ type node struct {
 	busy     bool
 	queued   float64 // total queued work incl. in-service remainder proxy
 	serving  *item
+	// down marks a crashed node: zero effective capacity until recovery.
+	down      bool
+	downSince float64
+	// slow scales capacity in (0, 1] during a transient slowdown.
+	slow float64
+	// epoch counts crashes; stale evStageDone events (scheduled before a
+	// crash interrupted the service) carry an older epoch and are ignored.
+	epoch int
 }
 
 // Sim is one simulation run.
@@ -225,6 +246,9 @@ func New(sc *Scenario, pol Policy) (*Sim, error) {
 	if assign == nil || !assign.Complete() {
 		return nil, fmt.Errorf("sim: policy %s has no complete placement", pol.Name())
 	}
+	if err := sc.Faults.Validate(len(sc.Cluster.Nodes)); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	s := &Sim{
 		sc:      sc,
 		pol:     pol,
@@ -235,7 +259,7 @@ func New(sc *Scenario, pol Policy) (*Sim, error) {
 		res:     metrics.NewRuntime(pol.Name()),
 	}
 	for _, n := range sc.Cluster.Nodes {
-		s.nodes = append(s.nodes, &node{id: n.ID, capacity: n.Capacity})
+		s.nodes = append(s.nodes, &node{id: n.ID, capacity: n.Capacity, slow: 1})
 	}
 	// Prime the monitor with the t=0 truth (the paper's executor starts
 	// with the compile-time estimates).
@@ -251,12 +275,18 @@ func (s *Sim) push(e *event) {
 
 // Run executes the simulation and returns its metrics.
 func (s *Sim) Run() *metrics.Runtime {
-	// Seed arrivals, sampling, and control ticks.
+	// Seed arrivals, sampling, control ticks, and scripted faults.
 	for _, st := range s.sc.Query.Streams {
 		s.scheduleNextBatch(st, 0)
 	}
 	s.push(&event{t: s.sc.SampleEvery, kind: evSample})
 	s.push(&event{t: s.sc.TickEvery, kind: evTick})
+	if !s.sc.Faults.Empty() {
+		for i, f := range s.sc.Faults.Faults {
+			s.push(&event{t: f.At, kind: evFaultBegin, fault: i})
+			s.push(&event{t: f.Until, kind: evFaultEnd, fault: i})
+		}
+	}
 
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(*event)
@@ -272,7 +302,7 @@ func (s *Sim) Run() *metrics.Runtime {
 				s.onBatch(e.stream)
 			}
 		case evStageDone:
-			s.onStageDone(e.node)
+			s.onStageDone(e.node, e.epoch)
 		case evMigrationEnd:
 			s.onMigrationEnd(e.op)
 		case evTick:
@@ -281,10 +311,91 @@ func (s *Sim) Run() *metrics.Runtime {
 		case evSample:
 			s.onSample()
 			s.push(&event{t: s.now + s.sc.SampleEvery, kind: evSample})
+		case evFaultBegin:
+			s.onFaultBegin(e.fault)
+		case evFaultEnd:
+			s.onFaultEnd(e.fault)
 		}
+	}
+	// Nodes still down when the horizon cuts the run accrue downtime to
+	// the end, and their frozen queues count as lost: the replay their
+	// recovery would have triggered never comes (the live engine
+	// likewise loses a still-down node's parked backlog at Stop).
+	for _, n := range s.nodes {
+		if !n.down {
+			continue
+		}
+		s.res.DownSeconds += s.sc.Horizon - n.downSince
+		for _, it := range n.queue {
+			s.loseItem(it)
+		}
+		n.queue = nil
+		n.queued = 0
 	}
 	s.res.ProducedOverTime.Record(s.sc.Horizon, s.res.Produced)
 	return s.res
+}
+
+// loseItem accounts one batch×stage unit of work destroyed by a crash:
+// the batch dies, taking its expected downstream output with it.
+func (s *Sim) loseItem(it *item) {
+	s.res.TuplesLost += it.b.tuples * it.b.carry
+}
+
+// onFaultBegin applies the onset of fault i: a crash empties or freezes
+// the node, a slowdown scales its capacity for newly started services.
+func (s *Sim) onFaultBegin(i int) {
+	f := s.sc.Faults.Faults[i]
+	n := s.nodes[f.Node]
+	switch f.Kind {
+	case chaos.Crash:
+		if n.down {
+			return
+		}
+		n.down = true
+		n.downSince = s.now
+		// Void the in-flight service completion: its evStageDone carries
+		// the old epoch.
+		n.epoch++
+		s.res.Crashes++
+		if s.sc.Faults.Mode == chaos.LoseState {
+			if n.serving != nil {
+				s.loseItem(n.serving)
+			}
+			for _, it := range n.queue {
+				s.loseItem(it)
+			}
+			n.queue = nil
+			n.queued = 0
+		} else if n.serving != nil {
+			// Checkpoint mode: the interrupted item restarts from scratch
+			// on recovery; its work stays in the queued total.
+			n.queue = append([]*item{n.serving}, n.queue...)
+		}
+		n.serving = nil
+		n.busy = false
+	case chaos.Slowdown:
+		n.slow = f.Factor
+		// In-service work keeps its already-scheduled completion; only
+		// services started while slowed pay the factor.
+	}
+}
+
+// onFaultEnd applies the end of fault i: recovery or return to full speed.
+func (s *Sim) onFaultEnd(i int) {
+	f := s.sc.Faults.Faults[i]
+	n := s.nodes[f.Node]
+	switch f.Kind {
+	case chaos.Crash:
+		if !n.down {
+			return
+		}
+		n.down = false
+		s.res.DownSeconds += s.now - n.downSince
+		s.tryServe(n)
+	case chaos.Slowdown:
+		n.slow = 1
+	}
 }
 
 // scheduleNextBatch books the arrival of the next full ruster on a stream:
@@ -356,15 +467,21 @@ func (s *Sim) stageWork(b *batch, t float64) float64 {
 func (s *Sim) enqueueStage(b *batch) {
 	op := b.plan[b.stage]
 	n := s.nodes[s.assign[op]]
+	if n.down && s.sc.Faults != nil && s.sc.Faults.Mode == chaos.LoseState {
+		// Work routed to a dead node is lost outright; in Checkpoint mode
+		// it queues and stalls until recovery instead.
+		s.res.TuplesLost += b.tuples * b.carry
+		return
+	}
 	it := &item{b: b, op: op, work: s.stageWork(b, s.now)}
 	n.queue = append(n.queue, it)
 	n.queued += it.work
 	s.tryServe(n)
 }
 
-// tryServe starts the next servable item on an idle node.
+// tryServe starts the next servable item on an idle, live node.
 func (s *Sim) tryServe(n *node) {
-	if n.busy {
+	if n.busy || n.down {
 		return
 	}
 	for i, it := range n.queue {
@@ -374,14 +491,19 @@ func (s *Sim) tryServe(n *node) {
 		n.queue = append(n.queue[:i], n.queue[i+1:]...)
 		n.busy = true
 		n.serving = it
-		dur := it.work / n.capacity
-		s.push(&event{t: s.now + dur, kind: evStageDone, node: n.id})
+		dur := it.work / (n.capacity * n.slow)
+		s.push(&event{t: s.now + dur, kind: evStageDone, node: n.id, epoch: n.epoch})
 		return
 	}
 }
 
-func (s *Sim) onStageDone(nodeID int) {
+func (s *Sim) onStageDone(nodeID int, epoch int) {
 	n := s.nodes[nodeID]
+	if epoch != n.epoch {
+		// Completion of a service a crash interrupted: already handled at
+		// the crash (lost or re-queued).
+		return
+	}
 	it := n.serving
 	n.serving = nil
 	n.busy = false
@@ -409,7 +531,13 @@ func (s *Sim) onTick() {
 	s.res.OverheadWork += s.pol.DecisionOverhead()
 	loads := make([]float64, len(s.nodes))
 	for i, n := range s.nodes {
-		loads[i] = n.queued
+		if n.down {
+			// Crashed nodes report the +Inf sentinel so failure-aware
+			// policies (DYN) can evacuate their operators.
+			loads[i] = runtime.DownLoad
+		} else {
+			loads[i] = n.queued
+		}
 	}
 	mig := s.pol.Rebalance(s.now, loads, s.assign.Clone())
 	if mig == nil {
@@ -491,4 +619,8 @@ func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 	return runtime.FromSim(res), nil
 }
 
-var _ runtime.Executor = (*Executor)(nil)
+// SetFaults implements runtime.FaultInjector: subsequent Execute calls
+// run under the scripted fault schedule.
+func (x *Executor) SetFaults(fp *chaos.FaultPlan) { x.Scenario.Faults = fp }
+
+var _ runtime.FaultInjector = (*Executor)(nil)

@@ -41,6 +41,7 @@ import (
 	"math/rand"
 
 	"rld/internal/baseline"
+	"rld/internal/chaos"
 	"rld/internal/cluster"
 	"rld/internal/core"
 	"rld/internal/cost"
@@ -210,6 +211,54 @@ func NewEngineExecutor(q *Query, nNodes int, feed Feed, cfg EngineConfig) *Engin
 // -time order, stopping at the horizon (seconds).
 func NewSourceFeed(srcs []*Source, batchSize int, horizon float64) Feed {
 	return runtime.NewSourceFeed(srcs, batchSize, horizon)
+}
+
+// Fault injection (internal/chaos): scripted node crashes, recoveries,
+// and transient slowdowns that both substrates replay identically.
+type (
+	// FaultPlan is a deterministic fault schedule plus recovery
+	// configuration; set sim.Scenario.Faults or EngineExecutor.Faults (or
+	// use the FaultInjector interface) to run under it.
+	FaultPlan = chaos.FaultPlan
+	// Fault is one scripted crash or slowdown interval.
+	Fault = chaos.Fault
+	// RecoveryMode selects crash-recovery semantics.
+	RecoveryMode = chaos.RecoveryMode
+	// FaultInjector is an Executor that accepts a FaultPlan.
+	FaultInjector = runtime.FaultInjector
+	// FaultConfig parameterizes random fault-schedule generation.
+	FaultConfig = gen.FaultConfig
+)
+
+// Recovery modes and fault kinds.
+const (
+	// LoseState drops a crashed node's in-flight work and window state.
+	LoseState = chaos.LoseState
+	// CheckpointRecovery parks work for replay and restores windows from
+	// the last periodic snapshot.
+	CheckpointRecovery = chaos.Checkpoint
+	// FaultCrash and FaultSlowdown are the fault kinds.
+	FaultCrash    = chaos.Crash
+	FaultSlowdown = chaos.Slowdown
+)
+
+// ParseFaultPlan reads the -faults flag syntax, e.g.
+// "crash:1@120-180,slow:0@300-360x0.5;mode=checkpoint;every=30".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return chaos.Parse(s) }
+
+// RandomFaults draws a deterministic random fault schedule over
+// [0, horizon) for an nNodes cluster.
+func RandomFaults(cfg FaultConfig, nNodes int, horizon float64, seed int64) *FaultPlan {
+	return gen.Faults(cfg, nNodes, horizon, seed)
+}
+
+// DefaultFaultConfig returns a single checkpoint-recovered crash.
+func DefaultFaultConfig() FaultConfig { return gen.DefaultFaultConfig() }
+
+// Completeness returns a faulted run's produced-result count as a
+// fraction of its fault-free baseline — the chaos robustness metric.
+func Completeness(faulted, baseline *Report) float64 {
+	return runtime.Completeness(faulted, baseline)
 }
 
 // Simulation substrate (internal/sim) and baselines (internal/baseline).
