@@ -1,0 +1,29 @@
+package rld_test
+
+import (
+	"os"
+	"testing"
+
+	"rld/internal/apisurface"
+)
+
+// TestAPISurface is the API-compatibility gate: the public rld package's
+// exported declaration surface must match the committed golden file, so a
+// breaking change fails tier-1 until it is made explicit with
+//
+//	go run ./cmd/apisurface -write
+func TestAPISurface(t *testing.T) {
+	got, err := apisurface.Surface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("API_SURFACE.txt")
+	if err != nil {
+		t.Fatalf("missing golden file: %v (regenerate with `go run ./cmd/apisurface -write`)", err)
+	}
+	if string(want) != got {
+		t.Fatalf("public API surface drifted from API_SURFACE.txt.\n" +
+			"If intentional, regenerate with `go run ./cmd/apisurface -write`.\n" +
+			"Inspect the drift with `go run ./cmd/apisurface -check`.")
+	}
+}

@@ -2,14 +2,19 @@
 // load-distribution policies of the paper's §6.5 study — ROD, DYN, and RLD
 // — and prints their runtime metrics side by side. With -faults, every
 // policy additionally runs under the scripted fault schedule and the
-// result-completeness versus its own fault-free run is reported.
+// result-completeness versus its own fault-free run is reported. With
+// -live, every policy additionally runs as a Pipeline session on the live
+// sharded engine, replaying that many seconds of real tuples and counting
+// the runtime events the session surfaces.
 //
 //	rldrun -minutes 30 -ratio 2 -nodes 4
 //	rldrun -faults "crash:1@300-420;mode=checkpoint"
 //	rldrun -faults random            # seeded random crash schedule
+//	rldrun -live 120                 # …plus live-engine Pipeline sessions
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +31,7 @@ func main() {
 	period := flag.Float64("period", 120, "selectivity fluctuation period (seconds)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	faults := flag.String("faults", "", `fault schedule ("crash:1@300-420;mode=checkpoint", or "random")`)
+	live := flag.Float64("live", 0, "also run each policy as a live-engine Pipeline session over this many seconds of real tuples (0 = off)")
 	flag.Parse()
 
 	q := rld.NewNWayJoin("Q", *ops, 10)
@@ -131,6 +137,59 @@ func main() {
 		fmt.Printf("%-6s %13.1f %13.0f %11.0f %11d %9.1fs %8.1f%%\n",
 			res.Policy, res.Latency.MeanMS(), res.Produced, res.Dropped,
 			res.Migrations, res.MigrationDowntime, 100*res.OverheadRatio())
+	}
+
+	if *live > 0 {
+		// The same policies as long-lived Pipeline sessions on the live
+		// engine: real tuples through worker pools, with the session's
+		// Events stream counting plan switches and migrations as they
+		// happen. DYN's absolute activation floor is in simulator
+		// cost-units; the engine reports queued message counts, so it is
+		// retuned to that scale.
+		makeFeed := func() rld.Feed {
+			srcs := make([]*rld.Source, len(q.Streams))
+			for i, s := range q.Streams {
+				srcs[i] = rld.NewSource(s,
+					rld.ConstProfile(q.Rates[s]**ratio),
+					rld.KeyDist{Target: rld.ConstProfile(0.002), Cold: 4096},
+					rld.UniformDist{A: 0, B: 100}, *seed+int64(i)*13)
+			}
+			return rld.NewSourceFeed(srcs, *batch, *live)
+		}
+		dynCfg := rld.DefaultDYNConfig()
+		dynCfg.ActivationFloor = 2
+		dynCfg.CooldownSeconds = 10
+		mkLive := func() []rld.Policy {
+			dynP, err := rld.NewDYN(dep, dynCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rodP, err := rld.NewROD(dep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return []rld.Policy{rodP, dynP, dep.NewPolicy(*batch)}
+		}
+		ctx := context.Background()
+		fmt.Printf("\nlive engine: %.0fs of real tuples per policy (Pipeline sessions)\n\n", *live)
+		fmt.Printf("%-6s %13s %13s %11s %11s %10s\n",
+			"policy", "latency ms", "produced", "batches", "migrations", "events")
+		for _, pol := range mkLive() {
+			pipe, err := rld.Open(ctx, dep, pol, rld.WithBufferedEvents(1<<16))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := rld.Replay(ctx, pipe, makeFeed())
+			if err != nil {
+				log.Fatal(err)
+			}
+			events := 0
+			for range pipe.Events() {
+				events++
+			}
+			fmt.Printf("%-6s %13.2f %13.0f %11d %11d %10d\n",
+				rep.Policy, rep.MeanLatencyMS, rep.Produced, rep.Batches, rep.Migrations, events)
+		}
 	}
 
 	if plan == nil {

@@ -1,12 +1,15 @@
 // Quickstart: compile a 5-way join query with declared statistic
-// uncertainty into an RLD deployment and inspect the result — the robust
-// logical solution, the single robust physical plan, and the online
-// classifier reacting to shifting statistics.
+// uncertainty into an RLD deployment, then serve it as a long-lived
+// streaming session with the Pipeline API — ingest batches with
+// backpressure, watch the classifier switch logical plans through the
+// Events stream, poll live Stats, and drain gracefully with Close.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
 	"rld"
 )
@@ -25,44 +28,93 @@ func main() {
 		rld.SelDim(3, q.Ops[3].Sel, 3),
 		rld.RateDim("S2", q.Rates["S2"], 2),
 	}
-	for _, d := range dims {
-		fmt.Printf("  uncertain: %v base=%.2f range=[%.2f, %.2f]\n", d.Kind, d.Base, d.Lo, d.Hi)
-	}
 
-	// 3. The cluster: 3 machines, 80 cost-units/sec each.
+	// 3. Two-step robust optimization on a 3-node cluster: ERP finds the
+	// robust logical solution; OptPrune maps it to one robust physical
+	// plan that supports every plan in it without migration.
 	cl := rld.NewCluster(3, 80)
-
-	// 4. Two-step robust optimization: ERP finds the robust logical
-	// solution; OptPrune maps it to one robust physical plan. A tight
-	// ε = 5% keeps every region within 5% of optimal, which needs
-	// several plans to cover the space.
 	cfg := rld.DefaultConfig()
 	cfg.Robust.Epsilon = 0.05
 	dep, err := rld.Optimize(q, dims, cl, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("robust solution: %d plans, one placement, %d optimizer calls\n\n",
+		dep.Logical.NumPlans(), dep.Logical.Calls)
 
-	fmt.Printf("\nrobust logical solution (%d optimizer calls):\n", dep.Logical.Calls)
-	for _, rp := range dep.Logical.Plans {
-		fmt.Printf("  %-40s weight=%.3f area=%d grid points\n", rp.Plan, rp.Weight, rp.Area())
+	// 4. Open the deployment as a streaming session on the live engine.
+	// A nil policy means "RLD itself": per-batch classification on the
+	// robust physical plan. Functional options replace EngineConfig
+	// struct literals.
+	ctx := context.Background()
+	pipe, err := rld.Open(ctx, dep, nil,
+		rld.WithWorkers(2),
+		rld.WithBufferedResults(4096),
+		rld.WithBufferedEvents(256))
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Printf("\nrobust physical plan (%d/%d logical plans supported):\n",
-		len(dep.Physical.Supported), len(dep.Plans))
-	for node, ops := range dep.Physical.Assign.NodeOps(cl.N()) {
-		fmt.Printf("  node %d: ops %v\n", node, ops)
-	}
-
-	// 5. The online classifier: as monitored statistics drift, different
-	// robust plans are selected — with no operator movement.
-	fmt.Println("\nclassifier reactions:")
-	for _, sel0 := range []float64{0.21, 0.30, 0.39} {
-		snap := rld.Snapshot{
-			Sels:  []float64{sel0, 0.35, 0.40, 0.45, 0.50},
-			Rates: map[string]float64{"S2": 2},
+	// Consume the result stream as it flows.
+	resultsDone := make(chan float64)
+	go func() {
+		var n float64
+		for rb := range pipe.Results() {
+			n += rb.Count
 		}
-		plan, _ := dep.Classify(snap)
-		fmt.Printf("  δ(op1)=%.2f → %v\n", sel0, plan)
+		resultsDone <- n
+	}()
+
+	// 5. Stream batches through it. Payload values drift across the run,
+	// moving op1's observed selectivity through its declared range — the
+	// classifier reacts per batch with zero operator movement.
+	rng := rand.New(rand.NewSource(42))
+	ts := 0.0
+	for i := 0; i < 300; i++ {
+		stream := q.Streams[i%len(q.Streams)]
+		b := &rld.Batch{Stream: stream}
+		shift := float64((i / 75) % 3 * 25) // regime drift: 0, +25, +50
+		for j := 0; j < 25; j++ {
+			ts += 0.01
+			b.Tuples = append(b.Tuples, &rld.Tuple{
+				Stream: stream, Seq: uint64(j), Ts: rld.Time(ts),
+				Key:     rng.Int63n(256),
+				Vals:    []float64{rng.Float64()*100 - shift},
+				Arrival: rld.Time(ts),
+			})
+		}
+		// Ingest applies blocking backpressure; TryIngest is the
+		// non-blocking variant that returns rld.ErrBackpressure.
+		if err := pipe.Ingest(ctx, b); err != nil {
+			log.Fatal(err)
+		}
+		if i == 150 {
+			st := pipe.Stats()
+			fmt.Printf("mid-run stats: t=%.1fs ingested=%.0f produced=%.0f pending=%d\n",
+				st.VirtualTime, st.Ingested, st.Produced, st.Pending)
+		}
+	}
+
+	// 6. Graceful shutdown: drain in-flight work, honoring the context.
+	rep, err := pipe.Close(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed := <-resultsDone
+
+	fmt.Printf("\nfinal report: ingested %.0f tuples in %d batches, produced %.0f results (%.0f streamed)\n",
+		rep.Ingested, rep.Batches, rep.Produced, streamed)
+	fmt.Printf("plans used: %d, plan switches: %d, migrations: %d\n",
+		rep.PlanCount(), rep.PlanSwitches, rep.Migrations)
+	switches := 0
+	for ev := range pipe.Events() {
+		if ev.Kind == rld.EventPlanSwitch {
+			switches++
+		}
+	}
+	fmt.Printf("plan-switch events observed on the Events stream: %d\n", switches)
+	if rep.PlanCount() > 1 {
+		fmt.Println("→ the classifier re-routed batches as statistics drifted,")
+		fmt.Println("  with zero operator migrations — the robust plan held.")
 	}
 }

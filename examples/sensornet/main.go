@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -116,19 +117,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nSame policies on the live engine (2 minutes of real tuples):")
+	fmt.Println("\nSame policies on the live engine (2 minutes of real tuples),")
+	fmt.Println("each as a Pipeline session replaying the recorded feed:")
 	fmt.Printf("%-6s %14s %14s %12s %12s\n", "policy", "latency(ms)", "produced", "migrations", "plans used")
+	ctx := context.Background()
 	for _, pol := range []rld.Policy{rod2, dyn2, dep.NewPolicy(50)} {
-		ex := rld.NewEngineExecutor(q, cl.N(), makeFeed(), rld.DefaultEngineConfig())
-		rep, err := ex.Execute(pol)
+		pipe, err := rld.Open(ctx, dep, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rld.Replay(ctx, pipe, makeFeed())
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-6s %14.2f %14.0f %12d %12d\n",
 			rep.Policy, rep.MeanLatencyMS, rep.Produced, rep.Migrations, rep.PlanCount())
 	}
-	fmt.Println("\nOne policy layer, two substrates: internal/runtime decouples")
-	fmt.Println("the load-distribution strategy from what executes it.")
+	fmt.Println("\nOne policy layer, two substrates, one session API: internal/runtime")
+	fmt.Println("decouples the load-distribution strategy from what executes it.")
 
 	// Chaos: the same live-engine workload under a scripted single-node
 	// crash+recovery (checkpoint-restore from 15 s window snapshots).
@@ -159,14 +165,19 @@ func main() {
 		func() rld.Policy { return dep.NewPolicy(50) },
 	}
 	for _, mk := range mkPolicy {
-		ex := rld.NewEngineExecutor(q, cl.N(), makeFeed(), rld.DefaultEngineConfig())
-		base, err := ex.Execute(mk())
+		basePipe, err := rld.Open(ctx, dep, mk())
 		if err != nil {
 			log.Fatal(err)
 		}
-		exF := rld.NewEngineExecutor(q, cl.N(), makeFeed(), rld.DefaultEngineConfig())
-		exF.Faults = plan
-		rep, err := exF.Execute(mk())
+		base, err := rld.Replay(ctx, basePipe, makeFeed())
+		if err != nil {
+			log.Fatal(err)
+		}
+		faultPipe, err := rld.Open(ctx, dep, mk(), rld.WithFaults(plan))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rld.Replay(ctx, faultPipe, makeFeed())
 		if err != nil {
 			log.Fatal(err)
 		}

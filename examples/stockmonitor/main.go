@@ -1,12 +1,13 @@
-// Stockmonitor runs the paper's motivating scenario (Example 1) on the live
-// goroutine engine: a stock-monitoring query whose pattern-match selectivity
-// inverts when the market flips between bullish and bearish regimes. The
-// RLD deployment switches logical plans per batch while the operator
-// placement never changes — the behaviour the lower half of the paper's
-// Figure 2 illustrates.
+// Stockmonitor runs the paper's motivating scenario (Example 1) as a live
+// streaming session: a stock-monitoring query whose pattern-match
+// selectivity inverts when the market flips between bullish and bearish
+// regimes. The RLD pipeline switches logical plans per batch — surfaced
+// live on its Events stream — while the operator placement never changes,
+// the behaviour the lower half of the paper's Figure 2 illustrates.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,11 +55,13 @@ func main() {
 		fmt.Printf("  %v (weight %.3f)\n", rp.Plan, rp.Weight)
 	}
 
-	eng, err := rld.NewEngine(dep, rld.DefaultEngineConfig())
+	// Open the deployment as a long-lived session on the live engine and
+	// watch plan switches arrive on the Events stream as the market flips.
+	ctx := context.Background()
+	pipe, err := rld.Open(ctx, dep, nil, rld.WithBufferedEvents(1024))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.Start()
 
 	// Feed the engine through alternating market regimes. Stock payload
 	// values shift location between regimes, which moves op1's true pass
@@ -97,22 +100,31 @@ func main() {
 		bull := regime%2 == 0
 		for i := 0; i < batchesPerRegime; i++ {
 			for _, s := range q.Streams {
-				if err := eng.Ingest(makeBatch(s, bull)); err != nil {
+				if err := pipe.Ingest(ctx, makeBatch(s, bull)); err != nil {
 					log.Fatal(err)
 				}
 			}
 		}
 	}
-	res := eng.Stop()
+	res, err := pipe.Close(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Printf("\ningested %d tuples in %d batches, produced %d results\n",
+	fmt.Printf("\ningested %.0f tuples in %d batches, produced %.0f results\n",
 		res.Ingested, res.Batches, res.Produced)
 	fmt.Printf("mean batch latency: %.2f ms\n", res.MeanLatencyMS)
 	fmt.Println("plan usage across regimes (plan → batches):")
 	for k, n := range res.PlanUse {
 		fmt.Printf("  [%s]: %d\n", k, n)
 	}
-	fmt.Printf("observed selectivities: %.3f\n", res.ObservedSels)
+	switches := 0
+	for ev := range pipe.Events() {
+		if ev.Kind == rld.EventPlanSwitch {
+			switches++
+		}
+	}
+	fmt.Printf("plan-switch events on the session's Events stream: %d\n", switches)
 	if len(res.PlanUse) > 1 {
 		fmt.Println("→ the classifier switched orderings as the market flipped,")
 		fmt.Println("  with zero operator migrations.")

@@ -242,6 +242,12 @@ type Results struct {
 	Restores int
 }
 
+// resultObserver receives every non-empty sink emission: the batch's
+// surviving result tuples and its ingress wall time. Observers run on
+// worker goroutines and must copy anything they retain — the slice is
+// recycled after the call.
+type resultObserver func(tuples []*stream.Joined, ingress time.Time)
+
 // nodeState is one simulated node of the live engine: its inbox, worker
 // pool, and failure state. The worker pool is genuinely killed on Crash
 // (goroutines exit) and rebuilt on Recover.
@@ -293,6 +299,11 @@ type Engine struct {
 	lost        atomic.Int64 // partial results destroyed by faults
 	restores    atomic.Int64 // checkpoint-restores on recovery
 	crashes     atomic.Int64 // Crash calls applied
+	downCount   atomic.Int32 // nodes currently down, for the all-down check
+
+	// resultObs, when set, taps every non-empty sink emission (sessions
+	// subscribe result streams through it).
+	resultObs atomic.Pointer[resultObserver]
 
 	// snapMu guards snaps, the latest Checkpoint()'s per-op window
 	// contents (nil until the first checkpoint).
@@ -327,11 +338,11 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	if !assign.Complete() || len(assign) != len(q.Ops) {
-		return nil, fmt.Errorf("engine: incomplete placement")
+		return nil, fmt.Errorf("%w: incomplete", ErrBadPlacement)
 	}
 	for _, n := range assign {
 		if n < 0 || n >= nNodes {
-			return nil, fmt.Errorf("engine: placement references node %d of %d", n, nNodes)
+			return nil, fmt.Errorf("%w: references node %d of %d", ErrBadPlacement, n, nNodes)
 		}
 	}
 	if cfg.InboxSize < 1 {
@@ -556,26 +567,53 @@ func anyKey(p *stream.Joined) int64 {
 func (e *Engine) sink(msg *message) {
 	e.produced.Add(int64(len(msg.partials)))
 	e.latencyNano.Add(int64(time.Since(msg.ingress)))
+	if len(msg.partials) > 0 {
+		if obs := e.resultObs.Load(); obs != nil {
+			(*obs)(msg.partials, msg.ingress)
+		}
+	}
 	putPartials(msg.partials)
 	*msg = message{}
 	msgPool.Put(msg)
+}
+
+// SetResultObserver installs (or, with nil, removes) the sink tap: obs is
+// invoked on worker goroutines with every non-empty result emission and
+// must copy what it retains. Install before Start to observe every result.
+func (e *Engine) SetResultObserver(obs func(tuples []*stream.Joined, ingress time.Time)) {
+	if obs == nil {
+		e.resultObs.Store(nil)
+		return
+	}
+	o := resultObserver(obs)
+	e.resultObs.Store(&o)
 }
 
 // Ingest admits one batch of tuples from a single stream: tuples are
 // inserted into their stream's windows, statistics are sampled, the batch is
 // classified to a plan, and the pipeline begins. Ingest never blocks: a full
 // inbox falls back to an asynchronous handoff (see send), so callers that
-// outrun the workers must pace themselves via Drain — the engine Executor
-// drains once per control tick. Safe for concurrent use.
+// outrun the workers must pace themselves via Drain — sessions enforce an
+// in-flight bound on top of this. Failures are typed: ErrNotStarted before
+// Start, ErrStopped after Stop, ErrNodeDown when every node is crashed, and
+// ErrInvalidPlan for a misbehaving chooser; all leave no trace, so the same
+// batch can be retried. Safe for concurrent use.
 func (e *Engine) Ingest(b *stream.Batch) error {
 	e.sendMu.RLock()
 	defer e.sendMu.RUnlock()
 	e.mu.Lock()
-	if !e.started || e.stopped {
+	if !e.started {
 		e.mu.Unlock()
-		return fmt.Errorf("engine: not running")
+		return ErrNotStarted
+	}
+	if e.stopped {
+		e.mu.Unlock()
+		return ErrStopped
 	}
 	e.mu.Unlock()
+	if n := len(e.nodes); int(e.downCount.Load()) >= n {
+		return fmt.Errorf("%w: all %d nodes crashed", ErrNodeDown, n)
+	}
 
 	// Classify and validate BEFORE mutating any state: a failed Ingest
 	// must leave no trace (no counters, no window inserts, no stats
@@ -585,7 +623,7 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 	snap := e.monitor.Snapshot()
 	plan := e.chooser.Choose(snap)
 	if plan == nil || !plan.Valid(e.q) {
-		return fmt.Errorf("engine: chooser returned invalid plan %v", plan)
+		return fmt.Errorf("%w: chooser returned %v", ErrInvalidPlan, plan)
 	}
 	e.offerStats(false)
 
@@ -647,6 +685,49 @@ func (e *Engine) offerStats(force bool) {
 	e.monitor.Offer(float64(time.Now().UnixNano())/1e9, sels, rates)
 }
 
+// controlReady rejects control operations (Migrate/Crash/Recover/
+// SetSlowdown) on a stopped engine: the worker pools are gone, and e.g. a
+// Crash would close an already-closed quit channel.
+func (e *Engine) controlReady() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Pending returns the number of in-flight messages not yet sunk — the
+// quantity sessions bound for backpressure (parked messages on crashed
+// nodes are excluded, as in Drain).
+func (e *Engine) Pending() int64 { return e.pending.Load() }
+
+// Counters is a cheap live snapshot of the engine's core counters, for
+// session Stats polling without building a full Results.
+type Counters struct {
+	Ingested, Produced, Batches, TuplesLost, Pending int64
+	PlanSwitches, Crashes, Restores                  int
+}
+
+// Counters returns a live snapshot of the run's counters. Safe for
+// concurrent use; the fields are mutually consistent only to within
+// in-flight work.
+func (e *Engine) Counters() Counters {
+	c := Counters{
+		Produced:   e.produced.Load(),
+		TuplesLost: e.lost.Load(),
+		Pending:    e.pending.Load(),
+		Crashes:    int(e.crashes.Load()),
+		Restores:   int(e.restores.Load()),
+	}
+	e.mu.Lock()
+	c.Ingested = e.ingested
+	c.Batches = e.batches
+	c.PlanSwitches = e.switches
+	e.mu.Unlock()
+	return c
+}
+
 // Assignment returns a copy of the live routing table.
 func (e *Engine) Assignment() physical.Assignment {
 	return (*e.assign.Load()).Clone()
@@ -658,12 +739,15 @@ func (e *Engine) Assignment() physical.Assignment {
 // still account their modeled downtime in reports. Migrate must be called
 // from a single control goroutine.
 func (e *Engine) Migrate(op, node int) error {
+	if err := e.controlReady(); err != nil {
+		return err
+	}
 	cur := *e.assign.Load()
 	if op < 0 || op >= len(cur) {
-		return fmt.Errorf("engine: migrate unknown op %d", op)
+		return fmt.Errorf("%w: migrate op %d", ErrUnknownOp, op)
 	}
 	if node < 0 || node >= len(e.nodes) {
-		return fmt.Errorf("engine: migrate to unknown node %d", node)
+		return fmt.Errorf("%w: migrate to node %d", ErrUnknownNode, node)
 	}
 	if cur[op] == node {
 		return nil
@@ -681,8 +765,11 @@ func (e *Engine) Migrate(op, node int) error {
 // counted as lost under chaos.LoseState. Crashing a crashed node is a
 // no-op. Crash must be called from the control goroutine (like Migrate).
 func (e *Engine) Crash(node int, mode chaos.RecoveryMode) error {
+	if err := e.controlReady(); err != nil {
+		return err
+	}
 	if node < 0 || node >= len(e.nodes) {
-		return fmt.Errorf("engine: crash unknown node %d", node)
+		return fmt.Errorf("%w: crash node %d", ErrUnknownNode, node)
 	}
 	ns := e.nodes[node]
 	ns.mu.Lock()
@@ -690,6 +777,7 @@ func (e *Engine) Crash(node int, mode chaos.RecoveryMode) error {
 		ns.mu.Unlock()
 		return nil
 	}
+	e.downCount.Add(1)
 	ns.down = true
 	ns.mode = mode
 	ns.reapStop = make(chan struct{})
@@ -747,8 +835,11 @@ func (e *Engine) reap(node int) {
 // routing table (so they follow any migrations made during the outage).
 // Recovering a live node is a no-op.
 func (e *Engine) Recover(node int) error {
+	if err := e.controlReady(); err != nil {
+		return err
+	}
 	if node < 0 || node >= len(e.nodes) {
-		return fmt.Errorf("engine: recover unknown node %d", node)
+		return fmt.Errorf("%w: recover node %d", ErrUnknownNode, node)
 	}
 	ns := e.nodes[node]
 	ns.mu.Lock()
@@ -787,6 +878,7 @@ func (e *Engine) Recover(node int) error {
 	// straight to the inbox, everything parked before the flip replays.
 	ns.mu.Lock()
 	ns.down = false
+	e.downCount.Add(-1)
 	parked := ns.parked
 	ns.parked = nil
 	ns.mu.Unlock()
@@ -801,8 +893,11 @@ func (e *Engine) Recover(node int) error {
 // worker, so a single-worker node cannot slow below full speed — size
 // Workers accordingly in slowdown experiments.
 func (e *Engine) SetSlowdown(node int, factor float64) error {
+	if err := e.controlReady(); err != nil {
+		return err
+	}
 	if node < 0 || node >= len(e.nodes) {
-		return fmt.Errorf("engine: slowdown unknown node %d", node)
+		return fmt.Errorf("%w: slowdown node %d", ErrUnknownNode, node)
 	}
 	if factor <= 0 || factor > 1 {
 		factor = 1

@@ -1,22 +1,21 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"time"
 
 	"rld/internal/chaos"
 	"rld/internal/query"
 	"rld/internal/runtime"
-	"rld/internal/stats"
 )
 
 // Executor adapts the live engine to the substrate-agnostic
 // runtime.Executor interface: it replays a Feed of real tuple batches
-// through a fresh engine under the given Policy, driving the policy's
-// control loop (Rebalance) on a virtual-time tick derived from the feed's
-// application timestamps. This is how ROD, DYN, and RLD all run on real
-// data with one policy implementation.
+// through a fresh session under the given Policy. The session protocol
+// (virtual clock from batch timestamps, control ticks driving Rebalance,
+// scripted fault injection) lives in Session; Execute is just the replay
+// loop over it. This is how ROD, DYN, and RLD all run on real data with
+// one policy implementation.
 type Executor struct {
 	// Query is the continuous query to execute.
 	Query *query.Query
@@ -53,155 +52,24 @@ func (x *Executor) Substrate() string { return "engine" }
 // SetFaults implements runtime.FaultInjector.
 func (x *Executor) SetFaults(fp *chaos.FaultPlan) { x.Faults = fp }
 
-// Execute implements runtime.Executor: run the feed to exhaustion under
-// pol and report the outcome.
+// Execute implements runtime.Executor: open a session, replay the feed to
+// exhaustion under pol, close, and report the outcome. MaxPending is left
+// unbounded — the replay paces itself through the per-tick drain, exactly
+// as the pre-session executor did.
 func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 	if x.Query == nil || x.Feed == nil {
 		return nil, fmt.Errorf("engine: executor needs a query and a feed")
 	}
-	// The chooser closure reads the executor's virtual clock; Ingest
-	// invokes it synchronously on this goroutine, so no lock is needed.
-	now := 0.0
-	chooser := ChooserFunc(func(snap stats.Snapshot) query.Plan {
-		return pol.PlanFor(now, snap)
+	s, err := OpenSession(x.Query, x.Nodes, pol, SessionOptions{
+		Config:    x.Config,
+		TickEvery: x.TickEvery,
+		Faults:    x.Faults,
+		Horizon:   x.Horizon,
 	})
-	if err := x.Faults.Validate(x.Nodes); err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
-	}
-	e, err := New(x.Query, pol.Placement(), x.Nodes, chooser, x.Config)
 	if err != nil {
 		return nil, err
 	}
-	e.Start()
-	start := time.Now()
-	tick := x.TickEvery
-	if tick <= 0 {
-		tick = 5
-	}
-	nextTick := tick
-	migrations := 0
-	downtime := 0.0
-	overhead := 0.0
-	// Fault-injection state: scripted faults apply as virtual time passes
-	// their edges; Checkpoint mode also snapshots windows periodically.
-	var cursor *chaos.Cursor
-	nextCkpt := math.Inf(1)
-	downSince := make(map[int]float64)
-	downSeconds := 0.0
-	if !x.Faults.Empty() {
-		cursor = x.Faults.Cursor()
-		if x.Faults.Mode == chaos.Checkpoint {
-			nextCkpt = x.Faults.SnapshotEvery()
-		}
-	}
-	applyFaults := func(now float64) {
-		// Checkpoints interleave with fault edges in time order as far as
-		// the batch granularity allows; snapshotting first gives a crash
-		// at the same boundary the freshest possible state. When virtual
-		// time jumps several periods at once only one snapshot is taken —
-		// intermediate ones would be overwritten unread.
-		if now >= nextCkpt {
-			e.Checkpoint()
-			for now >= nextCkpt {
-				nextCkpt += x.Faults.SnapshotEvery()
-			}
-		}
-		if cursor == nil {
-			return
-		}
-		for _, ev := range cursor.Advance(now) {
-			f := ev.Fault
-			switch {
-			case f.Kind == chaos.Crash && ev.Begin:
-				if err := e.Crash(f.Node, x.Faults.Mode); err == nil {
-					downSince[f.Node] = ev.T
-				}
-			case f.Kind == chaos.Crash && !ev.Begin:
-				if err := e.Recover(f.Node); err == nil {
-					downSeconds += ev.T - downSince[f.Node]
-					delete(downSince, f.Node)
-				}
-			case f.Kind == chaos.Slowdown && ev.Begin:
-				e.SetSlowdown(f.Node, f.Factor)
-			case f.Kind == chaos.Slowdown && !ev.Begin:
-				e.SetSlowdown(f.Node, 1)
-			}
-		}
-	}
-	for b := x.Feed.Next(); b != nil; b = x.Feed.Next() {
-		if n := b.Len(); n > 0 {
-			if t := float64(b.Tuples[n-1].Ts); t > now {
-				now = t
-			}
-		}
-		applyFaults(now)
-		if err := e.Ingest(b); err != nil {
-			e.Stop()
-			return nil, err
-		}
-		overhead += pol.ClassifyOverhead()
-		if now >= nextTick {
-			// Sample queue depths BEFORE draining: Drain empties every
-			// inbox, so a post-drain sample would always show zero load
-			// and imbalance-triggered policies (DYN) could never fire.
-			// One sample covers all catch-up ticks below — it is the
-			// only load observation this control round has.
-			loads := e.NodeLoads()
-			// Settle in-flight work before the control decision: this
-			// bounds the skew between ingestion and processing to one
-			// tick of virtual time, so probes observe windows close to
-			// their batch's application time even though the feed
-			// replays much faster than real time.
-			e.Drain()
-			for now >= nextTick {
-				overhead += pol.DecisionOverhead()
-				assign := e.Assignment()
-				if mig := pol.Rebalance(nextTick, loads, assign); mig != nil {
-					// Same-node requests are no-ops and not counted,
-					// matching the simulator's accounting.
-					if mig.Op >= 0 && mig.Op < len(assign) && assign[mig.Op] != mig.To {
-						if err := e.Migrate(mig.Op, mig.To); err == nil {
-							migrations++
-							downtime += mig.Downtime
-						}
-					}
-				}
-				nextTick += tick
-			}
-		}
-	}
-	// The feed is exhausted; fire the remaining fault events up to the
-	// horizon (the simulator fires them as discrete events regardless of
-	// arrivals). A node whose scripted recovery lies beyond the horizon
-	// stays down — mirroring the simulator's hard cut — so Stop counts
-	// its parked backlog as lost; only its downtime is finalized here.
-	end := x.Horizon
-	if end < now {
-		end = now
-	}
-	applyFaults(end)
-	for _, since := range downSince {
-		downSeconds += end - since
-	}
-	res := e.Stop()
-	return &runtime.Report{
-		Policy:            pol.Name(),
-		Substrate:         "engine",
-		Ingested:          float64(res.Ingested),
-		Produced:          float64(res.Produced),
-		Batches:           res.Batches,
-		MeanLatencyMS:     res.MeanLatencyMS,
-		PlanUse:           res.PlanUse,
-		PlanSwitches:      res.PlanSwitches,
-		Migrations:        migrations,
-		MigrationDowntime: downtime,
-		OverheadWork:      overhead,
-		WallSeconds:       time.Since(start).Seconds(),
-		Crashes:           res.Crashes,
-		DownSeconds:       downSeconds,
-		TuplesLost:        float64(res.TuplesLost),
-		Restores:          res.Restores,
-	}, nil
+	return runtime.Replay(context.Background(), s, x.Feed)
 }
 
 var _ runtime.FaultInjector = (*Executor)(nil)

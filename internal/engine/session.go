@@ -1,0 +1,529 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rld/internal/chaos"
+	"rld/internal/query"
+	"rld/internal/runtime"
+	"rld/internal/stats"
+	"rld/internal/stream"
+)
+
+// SessionOptions configures an engine session.
+type SessionOptions struct {
+	// Config tunes the underlying engine (workers, shards, fanout, inbox).
+	Config Config
+	// TickEvery is the control (Rebalance) period in virtual seconds
+	// (default 5, matching the simulator's default).
+	TickEvery float64
+	// Faults is an optional scripted fault schedule applied as the
+	// session's virtual clock advances. Nil runs fault-free.
+	Faults *chaos.FaultPlan
+	// Horizon is the virtual-time end in seconds used to finalize fault
+	// accounting at Close (0: the clock's high-water mark).
+	Horizon float64
+	// ResultBuffer is the Results subscription buffer; 0 disables result
+	// delivery entirely (the sink only counts).
+	ResultBuffer int
+	// EventBuffer is the Events subscription buffer (default 64).
+	EventBuffer int
+	// MaxPending bounds in-flight messages for backpressure: Ingest
+	// blocks and TryIngest rejects while the pipeline holds this many.
+	// <= 0 disables the bound (the replay Executor's historical mode).
+	MaxPending int
+}
+
+// Session is the live engine's implementation of runtime.Session: a
+// long-lived streaming run over a real sharded multi-worker engine. The
+// virtual clock advances with ingested batch timestamps; control ticks,
+// scripted faults, and checkpoints fire as the clock passes their edges —
+// exactly the protocol the batch-replay Executor used to run inline, now
+// available to concurrent callers with backpressure, result/event
+// subscriptions, live stats, and policy hot-swap.
+type Session struct {
+	e    *Engine
+	q    *query.Query
+	opts SessionOptions
+	tick float64
+	mode chaos.RecoveryMode
+
+	maxPending int64
+	start      time.Time
+
+	// vnow mirrors the virtual clock (float64 bits) for lock-free reads
+	// from worker-side result observers.
+	vnow atomic.Uint64
+	// closing gates Ingest/TryIngest without taking mu.
+	closing atomic.Bool
+
+	results        chan runtime.ResultBatch
+	events         chan runtime.Event
+	resultsDropped atomic.Int64
+	eventsDropped  atomic.Int64
+
+	// mu serializes the session's control state: the virtual clock, tick
+	// and fault cursors, and the live policy. Engine internals have their
+	// own synchronization; this lock makes the session protocol itself
+	// (clock advancement, tick decisions, swaps, close) sequential.
+	mu          sync.Mutex
+	pol         runtime.Policy
+	lastPlanKey string
+	now         float64
+	nextTick    float64
+	cursor      *chaos.Cursor
+	nextCkpt    float64
+	downSince   map[int]float64
+	downSeconds float64
+	migrations  int
+	downtime    float64
+	overhead    float64
+	swaps       int
+	closed      bool
+
+	done   chan struct{}
+	report *runtime.Report
+}
+
+// OpenSession starts a live-engine session executing q across nNodes nodes
+// under pol. The session is running on return; Close shuts it down.
+func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOptions) (*Session, error) {
+	if q == nil {
+		return nil, fmt.Errorf("engine: session needs a query")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("engine: session needs a policy")
+	}
+	if err := opts.Faults.Validate(nNodes); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	s := &Session{
+		q:          q,
+		opts:       opts,
+		tick:       opts.TickEvery,
+		mode:       chaos.Checkpoint,
+		maxPending: int64(opts.MaxPending),
+		start:      time.Now(),
+		pol:        pol,
+		downSince:  make(map[int]float64),
+		nextCkpt:   math.Inf(1),
+		done:       make(chan struct{}),
+	}
+	if s.tick <= 0 {
+		s.tick = 5
+	}
+	s.nextTick = s.tick
+	if !opts.Faults.Empty() {
+		s.cursor = opts.Faults.Cursor()
+		s.mode = opts.Faults.Mode
+		if opts.Faults.Mode == chaos.Checkpoint {
+			s.nextCkpt = opts.Faults.SnapshotEvery()
+		}
+	}
+	evBuf := opts.EventBuffer
+	if evBuf <= 0 {
+		evBuf = 64
+	}
+	s.events = make(chan runtime.Event, evBuf)
+	// The chooser runs synchronously inside Engine.Ingest, which the
+	// session only calls while holding mu — so it may read the session's
+	// policy and clock, and track plan switches, without further locking.
+	chooser := ChooserFunc(func(snap stats.Snapshot) query.Plan {
+		plan := s.pol.PlanFor(s.now, snap)
+		if plan != nil {
+			if k := plan.Key(); k != s.lastPlanKey {
+				if s.lastPlanKey != "" {
+					s.emit(runtime.Event{Kind: runtime.EventPlanSwitch, T: s.now, Node: -1, Op: -1, Plan: k})
+				}
+				s.lastPlanKey = k
+			}
+		}
+		return plan
+	})
+	e, err := New(q, pol.Placement(), nNodes, chooser, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	s.e = e
+	if opts.ResultBuffer > 0 {
+		s.results = make(chan runtime.ResultBatch, opts.ResultBuffer)
+		e.SetResultObserver(s.observeResult)
+	}
+	e.Start()
+	return s, nil
+}
+
+// Substrate implements runtime.Session.
+func (s *Session) Substrate() string { return "engine" }
+
+// Results implements runtime.Session.
+func (s *Session) Results() <-chan runtime.ResultBatch { return s.results }
+
+// Events implements runtime.Session.
+func (s *Session) Events() <-chan runtime.Event { return s.events }
+
+// observeResult is the engine's sink tap: it copies the emission out of the
+// pooled pipeline slice and delivers it without blocking the worker.
+func (s *Session) observeResult(tuples []*stream.Joined, _ time.Time) {
+	cp := make([]*stream.Joined, len(tuples))
+	copy(cp, tuples)
+	rb := runtime.ResultBatch{
+		T:      math.Float64frombits(s.vnow.Load()),
+		Count:  float64(len(cp)),
+		Tuples: cp,
+	}
+	select {
+	case s.results <- rb:
+	default:
+		s.resultsDropped.Add(1)
+	}
+}
+
+// emit delivers an event without blocking; callers hold mu (or run before
+// the session is visible), so emission is ordered and never races the
+// channel close in Close.
+func (s *Session) emit(ev runtime.Event) {
+	select {
+	case s.events <- ev:
+	default:
+		s.eventsDropped.Add(1)
+	}
+}
+
+// setNow advances the virtual clock (monotonically).
+func (s *Session) setNow(t float64) {
+	if t > s.now {
+		s.now = t
+		s.vnow.Store(math.Float64bits(t))
+	}
+}
+
+// applyFaults fires checkpoints and scripted fault edges the clock has
+// passed, in the same order the batch-replay executor used: snapshot
+// first, so a crash at the same boundary sees the freshest state. Caller
+// holds mu.
+func (s *Session) applyFaults(now float64) {
+	if now >= s.nextCkpt {
+		s.e.Checkpoint()
+		s.emit(runtime.Event{Kind: runtime.EventCheckpoint, T: now, Node: -1, Op: -1})
+		for now >= s.nextCkpt {
+			s.nextCkpt += s.opts.Faults.SnapshotEvery()
+		}
+	}
+	if s.cursor == nil {
+		return
+	}
+	for _, ev := range s.cursor.Advance(now) {
+		f := ev.Fault
+		switch {
+		case f.Kind == chaos.Crash && ev.Begin:
+			// Guard on downSince, not the Crash error: Crash returns nil
+			// for an already-down node (e.g. crashed manually through the
+			// session), and double-booking would corrupt the downtime
+			// accounting and duplicate the event.
+			if err := s.e.Crash(f.Node, s.mode); err == nil {
+				if _, dn := s.downSince[f.Node]; !dn {
+					s.downSince[f.Node] = ev.T
+					s.emit(runtime.Event{Kind: runtime.EventCrash, T: ev.T, Node: f.Node, Op: -1})
+				}
+			}
+		case f.Kind == chaos.Crash && !ev.Begin:
+			// Same guard on the way up: a scripted recovery edge for a
+			// node the caller already recovered must be a no-op, not a
+			// phantom downtime interval.
+			if err := s.e.Recover(f.Node); err == nil {
+				if since, dn := s.downSince[f.Node]; dn {
+					s.downSeconds += ev.T - since
+					delete(s.downSince, f.Node)
+					s.emit(runtime.Event{Kind: runtime.EventRecovery, T: ev.T, Node: f.Node, Op: -1})
+				}
+			}
+		case f.Kind == chaos.Slowdown && ev.Begin:
+			s.e.SetSlowdown(f.Node, f.Factor)
+			s.emit(runtime.Event{Kind: runtime.EventSlowdown, T: ev.T, Node: f.Node, Op: -1, Factor: f.Factor})
+		case f.Kind == chaos.Slowdown && !ev.Begin:
+			s.e.SetSlowdown(f.Node, 1)
+			s.emit(runtime.Event{Kind: runtime.EventSlowdown, T: ev.T, Node: f.Node, Op: -1, Factor: 1})
+		}
+	}
+}
+
+// ingest is the serialized admission path: advance the clock, fire due
+// faults, admit the batch, then run any due control ticks.
+func (s *Session) ingest(b *stream.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return runtime.ErrClosed
+	}
+	if n := b.Len(); n > 0 {
+		s.setNow(float64(b.Tuples[n-1].Ts))
+	}
+	s.applyFaults(s.now)
+	if err := s.e.Ingest(b); err != nil {
+		return err
+	}
+	s.overhead += s.pol.ClassifyOverhead()
+	if s.now >= s.nextTick {
+		// Sample queue depths BEFORE draining: Drain empties every inbox,
+		// so a post-drain sample would always show zero load and
+		// imbalance-triggered policies (DYN) could never fire. One sample
+		// covers all catch-up ticks below.
+		loads := s.e.NodeLoads()
+		// Settle in-flight work before the control decision: this bounds
+		// the skew between ingestion and processing to one tick of
+		// virtual time.
+		s.e.Drain()
+		for s.now >= s.nextTick {
+			s.overhead += s.pol.DecisionOverhead()
+			assign := s.e.Assignment()
+			if mig := s.pol.Rebalance(s.nextTick, loads, assign); mig != nil {
+				// Same-node requests are no-ops and not counted, matching
+				// the simulator's accounting.
+				if mig.Op >= 0 && mig.Op < len(assign) && assign[mig.Op] != mig.To {
+					if err := s.e.Migrate(mig.Op, mig.To); err == nil {
+						s.migrations++
+						s.downtime += mig.Downtime
+						s.emit(runtime.Event{Kind: runtime.EventMigration, T: s.nextTick, Node: mig.To, Op: mig.Op})
+					}
+				}
+			}
+			s.nextTick += s.tick
+		}
+	}
+	return nil
+}
+
+// ready reports whether the pipeline has room for another batch.
+func (s *Session) ready() bool {
+	return s.maxPending <= 0 || s.e.Pending() < s.maxPending
+}
+
+// Ingest implements runtime.Session: it blocks while the pipeline holds
+// MaxPending in-flight messages, until the context ends or the session
+// closes. The wait is a bounded 100µs poll by design: signalling waiters
+// from the sink would put synchronization on the workers' lock-free hot
+// path, and a blocked producer's wakeup is one atomic load.
+func (s *Session) Ingest(ctx context.Context, b *stream.Batch) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if s.closing.Load() {
+			return runtime.ErrClosed
+		}
+		if s.ready() {
+			return s.ingest(b)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+// TryIngest implements runtime.Session.
+func (s *Session) TryIngest(b *stream.Batch) error {
+	if s.closing.Load() {
+		return runtime.ErrClosed
+	}
+	if !s.ready() {
+		return runtime.ErrBackpressure
+	}
+	return s.ingest(b)
+}
+
+// SwapPolicy implements runtime.Session: subsequent batches classify under
+// pol and subsequent ticks call its Rebalance. The live placement is kept;
+// the new policy inherits it.
+func (s *Session) SwapPolicy(pol runtime.Policy) error {
+	if pol == nil {
+		return fmt.Errorf("engine: nil policy")
+	}
+	if p := pol.Placement(); len(p) != len(s.q.Ops) {
+		return fmt.Errorf("%w: policy %s covers %d of %d ops", ErrBadPlacement, pol.Name(), len(p), len(s.q.Ops))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return runtime.ErrClosed
+	}
+	s.pol = pol
+	s.swaps++
+	s.emit(runtime.Event{Kind: runtime.EventPolicySwap, T: s.now, Node: -1, Op: -1, Policy: pol.Name()})
+	return nil
+}
+
+// Migrate implements runtime.Session: an operator relocation outside any
+// policy's Rebalance decision (operations tooling, tests).
+func (s *Session) Migrate(op, node int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return runtime.ErrClosed
+	}
+	assign := s.e.Assignment()
+	if op >= 0 && op < len(assign) && assign[op] == node {
+		return nil
+	}
+	if err := s.e.Migrate(op, node); err != nil {
+		return err
+	}
+	s.migrations++
+	s.emit(runtime.Event{Kind: runtime.EventMigration, T: s.now, Node: node, Op: op})
+	return nil
+}
+
+// Crash implements runtime.Session: takes the node down exactly as a
+// scripted fault beginning now would, under the session's recovery mode.
+func (s *Session) Crash(node int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return runtime.ErrClosed
+	}
+	if err := s.e.Crash(node, s.mode); err != nil {
+		return err
+	}
+	if _, dn := s.downSince[node]; !dn {
+		s.downSince[node] = s.now
+		s.emit(runtime.Event{Kind: runtime.EventCrash, T: s.now, Node: node, Op: -1})
+	}
+	return nil
+}
+
+// Recover implements runtime.Session.
+func (s *Session) Recover(node int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return runtime.ErrClosed
+	}
+	if err := s.e.Recover(node); err != nil {
+		return err
+	}
+	if since, dn := s.downSince[node]; dn {
+		s.downSeconds += s.now - since
+		delete(s.downSince, node)
+		s.emit(runtime.Event{Kind: runtime.EventRecovery, T: s.now, Node: node, Op: -1})
+	}
+	return nil
+}
+
+// Stats implements runtime.Session.
+func (s *Session) Stats() runtime.SessionStats {
+	c := s.e.Counters()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds := s.downSeconds
+	for _, since := range s.downSince {
+		if s.now > since {
+			ds += s.now - since
+		}
+	}
+	return runtime.SessionStats{
+		Policy:         s.pol.Name(),
+		Substrate:      "engine",
+		VirtualTime:    s.now,
+		Ingested:       float64(c.Ingested),
+		Produced:       float64(c.Produced),
+		TuplesLost:     float64(c.TuplesLost),
+		Batches:        c.Batches,
+		Pending:        c.Pending,
+		PlanSwitches:   c.PlanSwitches,
+		PolicySwaps:    s.swaps,
+		Migrations:     s.migrations,
+		Crashes:        c.Crashes,
+		Restores:       c.Restores,
+		DownSeconds:    ds,
+		ResultsDropped: s.resultsDropped.Load(),
+		EventsDropped:  s.eventsDropped.Load(),
+	}
+}
+
+// Close implements runtime.Session: fire the remaining scripted faults up
+// to the horizon, finalize downtime, drain in-flight work, stop the
+// engine, and return the final report. When ctx ends before the drain
+// completes, Close returns ctx.Err() and the shutdown finishes in the
+// background; later Close calls wait for it and return the stored report.
+func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		select {
+		case <-s.done:
+			return s.report, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.closed = true
+	s.closing.Store(true)
+	// The feed is over; fire the remaining fault events up to the horizon
+	// (the simulator fires them as discrete events regardless of
+	// arrivals). A node whose scripted recovery lies beyond the horizon
+	// stays down — Stop counts its parked backlog as lost; only its
+	// downtime is finalized here.
+	end := s.opts.Horizon
+	if end < s.now {
+		end = s.now
+	}
+	s.applyFaults(end)
+	for _, since := range s.downSince {
+		s.downSeconds += end - since
+	}
+	s.downSince = make(map[int]float64)
+	pol := s.pol
+	s.mu.Unlock()
+
+	finish := func() *runtime.Report {
+		res := s.e.Stop()
+		s.mu.Lock()
+		rep := &runtime.Report{
+			Policy:            pol.Name(),
+			Substrate:         "engine",
+			Ingested:          float64(res.Ingested),
+			Produced:          float64(res.Produced),
+			Batches:           res.Batches,
+			MeanLatencyMS:     res.MeanLatencyMS,
+			PlanUse:           res.PlanUse,
+			PlanSwitches:      res.PlanSwitches,
+			Migrations:        s.migrations,
+			MigrationDowntime: s.downtime,
+			OverheadWork:      s.overhead,
+			WallSeconds:       time.Since(s.start).Seconds(),
+			Crashes:           res.Crashes,
+			DownSeconds:       s.downSeconds,
+			TuplesLost:        float64(res.TuplesLost),
+			Restores:          res.Restores,
+		}
+		s.report = rep
+		s.mu.Unlock()
+		if s.results != nil {
+			close(s.results)
+		}
+		close(s.events)
+		close(s.done)
+		return rep
+	}
+
+	// Context-aware drain: Stop would drain unconditionally, so wait here
+	// where the deadline can interrupt.
+	for s.e.Pending() != 0 {
+		select {
+		case <-ctx.Done():
+			go finish()
+			return nil, ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return finish(), nil
+}
+
+var _ runtime.Session = (*Session)(nil)

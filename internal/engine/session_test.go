@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rld/internal/chaos"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/runtime"
+	"rld/internal/stream"
+)
+
+// heavyBatch builds a batch of n same-key tuples on streamName at t.
+func heavyBatch(streamName string, n int, t float64) *stream.Batch {
+	b := stream.NewBatch(streamName)
+	for j := 0; j < n; j++ {
+		ts := stream.Time(t + float64(j)*1e-6)
+		b.Append(&stream.Tuple{Stream: streamName, Seq: uint64(j), Ts: ts, Key: 1, Vals: []float64{10}, Arrival: ts})
+	}
+	return b
+}
+
+// TestSessionBackpressure pins the in-flight bound: with MaxPending 1, a
+// slow probe batch in flight makes TryIngest reject with ErrBackpressure
+// and makes a cancelled-context Ingest return the context error.
+func TestSessionBackpressure(t *testing.T) {
+	q := twoWay()
+	q.Ops[0].Sel = 0.99 // selection passes ~everything through to the join
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.MaxFanout = 4
+	pol := &runtime.StaticPolicy{PolicyName: "S", Plan: query.Plan{0, 1}, Assign: physical.Assignment{0, 0}}
+	s, err := OpenSession(q, 1, pol, SessionOptions{Config: cfg, MaxPending: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Warm the S2 join window with one hot key, then settle.
+	if err := s.Ingest(ctx, heavyBatch("S2", 2000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.e.Drain()
+
+	// A 2000-tuple probe against the 2000-tuple hot window takes
+	// milliseconds on one worker: while it is in flight the session is at
+	// its bound.
+	if err := s.Ingest(ctx, heavyBatch("S1", 2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TryIngest(heavyBatch("S1", 1, 2)); !errors.Is(err, runtime.ErrBackpressure) {
+		t.Fatalf("TryIngest at capacity: %v, want ErrBackpressure", err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.Ingest(cancelled, heavyBatch("S1", 1, 2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Ingest with cancelled ctx: %v, want context.Canceled", err)
+	}
+
+	rep, err := s.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Produced == 0 {
+		t.Fatal("probe produced nothing")
+	}
+	if err := s.TryIngest(heavyBatch("S1", 1, 3)); !errors.Is(err, runtime.ErrClosed) {
+		t.Fatalf("TryIngest after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSessionManualRecoveryVsScriptedEdge pins the interaction between
+// the session's manual Crash/Recover and a scripted fault schedule: a
+// caller recovering a node before its scripted recovery edge must not be
+// double-booked when the edge later fires (phantom downtime, duplicate
+// events).
+func TestSessionManualRecoveryVsScriptedEdge(t *testing.T) {
+	q := twoWay()
+	fp := &chaos.FaultPlan{
+		Mode:   chaos.Checkpoint,
+		Faults: []chaos.Fault{{Kind: chaos.Crash, Node: 1, At: 100, Until: 200}},
+	}
+	pol := &runtime.StaticPolicy{PolicyName: "S", Plan: query.Plan{0, 1}, Assign: physical.Assignment{0, 1}}
+	s, err := OpenSession(q, 2, pol, SessionOptions{Faults: fp, EventBuffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Ingest(ctx, heavyBatch("S1", 5, 120)); err != nil { // fires the crash edge at t=100
+		t.Fatal(err)
+	}
+	if err := s.Ingest(ctx, heavyBatch("S1", 5, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(1); err != nil { // manual recovery at t=150
+		t.Fatal(err)
+	}
+	if err := s.Ingest(ctx, heavyBatch("S1", 5, 250)); err != nil { // scripted edge at t=200: must no-op
+		t.Fatal(err)
+	}
+	rep, err := s.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DownSeconds < 50 || rep.DownSeconds > 50.001 {
+		t.Errorf("down seconds = %v, want ≈50 (crash@100, manual recovery@150)", rep.DownSeconds)
+	}
+	crashes, recoveries := 0, 0
+	for ev := range s.Events() {
+		switch ev.Kind {
+		case runtime.EventCrash:
+			crashes++
+		case runtime.EventRecovery:
+			recoveries++
+		}
+	}
+	if crashes != 1 || recoveries != 1 {
+		t.Errorf("crash/recovery events = %d/%d, want 1/1", crashes, recoveries)
+	}
+}
+
+// TestSessionSwapPolicyValidation pins the swap guard rails.
+func TestSessionSwapPolicyValidation(t *testing.T) {
+	q := twoWay()
+	pol := &runtime.StaticPolicy{PolicyName: "A", Plan: query.Plan{0, 1}, Assign: physical.Assignment{0, 1}}
+	s, err := OpenSession(q, 2, pol, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	if err := s.SwapPolicy(nil); err == nil {
+		t.Fatal("swap to nil policy accepted")
+	}
+	bad := &runtime.StaticPolicy{PolicyName: "B", Plan: query.Plan{0, 1}, Assign: physical.Assignment{0}}
+	if err := s.SwapPolicy(bad); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("swap to short placement: %v, want ErrBadPlacement", err)
+	}
+	good := &runtime.StaticPolicy{PolicyName: "B", Plan: query.Plan{1, 0}, Assign: physical.Assignment{1, 0}}
+	if err := s.SwapPolicy(good); err != nil {
+		t.Fatalf("valid swap: %v", err)
+	}
+	if st := s.Stats(); st.PolicySwaps != 1 || st.Policy != "B" {
+		t.Fatalf("stats after swap: %+v", st)
+	}
+}

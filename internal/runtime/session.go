@@ -1,0 +1,207 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+
+	"rld/internal/stream"
+)
+
+// Session errors. Substrate-specific failures (unknown node, invalid plan,
+// …) are defined next to their engine; these two belong to the session
+// protocol itself.
+var (
+	// ErrClosed reports an operation on a session after Close began.
+	ErrClosed = errors.New("rld: session closed")
+	// ErrBackpressure reports a TryIngest rejected because the pipeline is
+	// at its in-flight capacity; back off and retry, or use the blocking
+	// Ingest.
+	ErrBackpressure = errors.New("rld: backpressure: pipeline at capacity")
+)
+
+// EventKind enumerates the runtime occurrences a Session surfaces on its
+// Events stream.
+type EventKind int
+
+const (
+	// EventPlanSwitch fires when the per-batch classifier picks a
+	// different logical plan than the previous batch's.
+	EventPlanSwitch EventKind = iota
+	// EventPolicySwap fires when SwapPolicy installs a new policy.
+	EventPolicySwap
+	// EventMigration fires when an operator is relocated to another node.
+	EventMigration
+	// EventCrash fires when a node goes down (scripted fault or Crash).
+	EventCrash
+	// EventRecovery fires when a crashed node comes back.
+	EventRecovery
+	// EventSlowdown fires when a node's capacity factor changes (factor 1
+	// restores full speed).
+	EventSlowdown
+	// EventCheckpoint fires when a periodic window snapshot completes.
+	EventCheckpoint
+)
+
+// String returns the kind's stable lower-case label.
+func (k EventKind) String() string {
+	switch k {
+	case EventPlanSwitch:
+		return "plan-switch"
+	case EventPolicySwap:
+		return "policy-swap"
+	case EventMigration:
+		return "migration"
+	case EventCrash:
+		return "crash"
+	case EventRecovery:
+		return "recovery"
+	case EventSlowdown:
+		return "slowdown"
+	case EventCheckpoint:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// Event is one runtime occurrence on a session: plan switches, policy
+// swaps, migrations, crashes/recoveries, slowdowns, and checkpoint
+// completions. Fields not meaningful for a kind are -1 (Node, Op), 0
+// (Factor), or empty (Plan, Policy).
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// T is the virtual time the event applied at.
+	T float64
+	// Node is the affected node (crash/recovery/slowdown, migration
+	// destination); -1 otherwise.
+	Node int
+	// Op is the migrated operator; -1 otherwise.
+	Op int
+	// Plan is the new logical plan's key for plan switches.
+	Plan string
+	// Policy is the new policy's name for policy swaps.
+	Policy string
+	// Factor is the capacity factor for slowdowns (1 = restored).
+	Factor float64
+}
+
+// ResultBatch is one sink emission delivered on a session's Results
+// stream: the results of one batch completing the pipeline.
+type ResultBatch struct {
+	// T is the virtual time of emission.
+	T float64
+	// Count is the number of result tuples (the simulator's expected
+	// count may be fractional).
+	Count float64
+	// Tuples holds the joined result tuples on the live engine (copied
+	// out of the pipeline; safe to retain). Nil on the simulator, which
+	// models counts, not payloads.
+	Tuples []*stream.Joined
+}
+
+// SessionStats is a live snapshot of a running session's counters —
+// Stats() can be polled at any time without disturbing the run.
+type SessionStats struct {
+	// Policy is the current policy's name.
+	Policy string
+	// Substrate identifies the session's executor ("sim" or "engine").
+	Substrate string
+	// VirtualTime is the session's current virtual clock in seconds.
+	VirtualTime float64
+	// Ingested counts source tuples admitted so far.
+	Ingested float64
+	// Produced counts result tuples emitted so far.
+	Produced float64
+	// Dropped counts tuples shed by admission control (sim only).
+	Dropped float64
+	// TuplesLost counts tuples destroyed by node failures so far.
+	TuplesLost float64
+	// Batches counts tuple batches admitted.
+	Batches int64
+	// Pending counts in-flight messages not yet sunk (engine only).
+	Pending int64
+	// PlanSwitches counts logical plan changes between batches.
+	PlanSwitches int
+	// PolicySwaps counts SwapPolicy calls applied.
+	PolicySwaps int
+	// Migrations counts operator relocations.
+	Migrations int
+	// Crashes counts node crashes applied.
+	Crashes int
+	// Restores counts checkpoint-restores performed on recovery.
+	Restores int
+	// DownSeconds is the summed virtual time nodes spent crashed.
+	DownSeconds float64
+	// ResultsDropped counts ResultBatch emissions discarded because the
+	// Results subscriber fell behind its buffer.
+	ResultsDropped int64
+	// EventsDropped counts Events discarded because the subscriber fell
+	// behind its buffer.
+	EventsDropped int64
+}
+
+// Session is a long-lived, context-aware streaming run: the session
+// protocol of the redesigned API, implemented natively by the live engine
+// and by the simulator through a virtual-time adapter, so tests and
+// experiments can drive the identical surface on either substrate.
+//
+// A session is running from the moment it is opened. Batches are pushed
+// with Ingest (blocking backpressure) or TryIngest (non-blocking);
+// results, runtime events, and statistics are observed while it runs; the
+// policy can be hot-swapped; and Close drains in-flight work and returns
+// the final Report. All methods are safe for concurrent use.
+type Session interface {
+	// Substrate names the executing substrate ("sim", "engine").
+	Substrate() string
+	// Ingest admits one batch, blocking while the pipeline is at its
+	// in-flight capacity. It returns ctx.Err() if the context ends first,
+	// ErrClosed after Close, or a substrate error (e.g. every node down).
+	// Batch timestamps drive the session's virtual clock and must not
+	// decrease across calls.
+	Ingest(ctx context.Context, b *stream.Batch) error
+	// TryIngest admits one batch without blocking: ErrBackpressure when
+	// the pipeline is at capacity, otherwise as Ingest.
+	TryIngest(b *stream.Batch) error
+	// Results returns the result subscription (nil when the session was
+	// opened without a result buffer). The channel closes after Close
+	// completes; emissions that would block are dropped and counted in
+	// Stats().ResultsDropped.
+	Results() <-chan ResultBatch
+	// Events returns the runtime event stream: plan switches, policy
+	// swaps, migrations, crashes/recoveries, slowdowns, checkpoints. The
+	// channel closes after Close completes; emissions that would block
+	// are dropped and counted in Stats().EventsDropped.
+	Events() <-chan Event
+	// Stats returns a live snapshot of the run's counters.
+	Stats() SessionStats
+	// SwapPolicy hot-swaps the load-distribution policy: subsequent
+	// batches classify under the new policy and subsequent control ticks
+	// call its Rebalance. The live operator placement is kept — the new
+	// policy inherits it and may migrate from there.
+	SwapPolicy(pol Policy) error
+	// Migrate relocates one operator to another node immediately.
+	Migrate(op, node int) error
+	// Crash takes a node down, as a scripted fault would.
+	Crash(node int) error
+	// Recover brings a crashed node back.
+	Recover(node int) error
+	// Close drains in-flight work, shuts the session down, and returns
+	// the final Report, honoring ctx: when the deadline expires first it
+	// returns ctx.Err() and completes the shutdown in the background.
+	// Further Close calls return the same Report.
+	Close(ctx context.Context) (*Report, error)
+}
+
+// Replay drives feed through s to exhaustion, then closes s and returns
+// the final report — the batch-replay loop the pre-session Executors ran,
+// now expressed over the session protocol. The session is closed even when
+// ingestion fails.
+func Replay(ctx context.Context, s Session, feed Feed) (*Report, error) {
+	for b := feed.Next(); b != nil; b = feed.Next() {
+		if err := s.Ingest(ctx, b); err != nil {
+			s.Close(ctx)
+			return nil, err
+		}
+	}
+	return s.Close(ctx)
+}

@@ -1,0 +1,173 @@
+package runtime_test
+
+// Old-vs-new API conformance: the batch-replay Executor path (old API) and
+// a Session fed the same Feed (new API) must produce equivalent results on
+// both substrates — the pin that the session redesign did not change the
+// execution semantics underneath the public surface.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"rld/internal/chaos"
+	"rld/internal/cluster"
+	"rld/internal/engine"
+	"rld/internal/query"
+	rt "rld/internal/runtime"
+	"rld/internal/sim"
+	"rld/internal/stream"
+)
+
+// openConformanceSessions builds one session per substrate for the
+// calibrated conformance workload: the engine session natively, the sim
+// session through its virtual-time adapter (externally driven — no
+// scenario arrivals).
+func openConformanceSessions(t *testing.T, q *query.Query, cl *cluster.Cluster, pol func() rt.Policy, fp *chaos.FaultPlan, buf int) map[string]rt.Session {
+	t.Helper()
+	eng, err := engine.OpenSession(q, cl.N(), pol(), engine.SessionOptions{
+		Config:       engineSessionConfig(),
+		Faults:       fp,
+		Horizon:      confHorizon,
+		ResultBuffer: buf,
+		EventBuffer:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &sim.Scenario{
+		Query:   q,
+		Cluster: cl,
+		Horizon: confHorizon,
+		Faults:  fp,
+	}
+	ss, err := sim.OpenSession(sc, pol(), sim.SessionOptions{
+		ResultBuffer: buf,
+		EventBuffer:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]rt.Session{"engine": eng, "sim": ss}
+}
+
+func engineSessionConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.MaxFanout = 0 // counts must not be clipped
+	return cfg
+}
+
+// TestSessionVsExecutorConformance feeds the identical Feed through the
+// old Executor path and through a raw Session on each substrate: the
+// produced/ingested ratios must agree within 15%.
+func TestSessionVsExecutorConformance(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	mkPol := func() rt.Policy {
+		return &rt.StaticPolicy{PolicyName: "FIXED", Plan: query.Plan{1, 0}, Assign: []int{0, 1}}
+	}
+	ctx := context.Background()
+
+	// Old API, both substrates.
+	oldReps := map[string]*rt.Report{}
+	for name, ex := range map[string]rt.Executor{
+		"engine": conformanceEngineExecutor(q, cl),
+		"sim":    conformanceSimExecutor(q, cl),
+	} {
+		rep, err := ex.Execute(mkPol())
+		if err != nil {
+			t.Fatalf("%s executor: %v", name, err)
+		}
+		oldReps[name] = rep
+	}
+
+	// New API: a session per substrate fed the engine-style tuple Feed
+	// (the sim adapter abstracts batches to counts at their timestamps).
+	for name, ses := range openConformanceSessions(t, q, cl, mkPol, nil, 0) {
+		feed := conformanceEngineExecutor(q, cl).(*engine.Executor).Feed
+		newRep, err := rt.Replay(ctx, ses, feed)
+		if err != nil {
+			t.Fatalf("%s session replay: %v", name, err)
+		}
+		old := oldReps[name]
+		rOld, rNew := old.OutputRatio(), newRep.OutputRatio()
+		t.Logf("%s: executor ratio %.4f (produced %.0f), session ratio %.4f (produced %.0f)",
+			name, rOld, old.Produced, rNew, newRep.Produced)
+		if newRep.Produced == 0 {
+			t.Fatalf("%s session produced nothing", name)
+		}
+		if math.Abs(rNew-rOld) > 0.15*rOld {
+			t.Errorf("%s: session ratio %.4f vs executor ratio %.4f (>15%%)", name, rNew, rOld)
+		}
+		if newRep.Substrate != name {
+			t.Errorf("session substrate %q, want %q", newRep.Substrate, name)
+		}
+	}
+}
+
+// TestSessionResultsAndEvents pins the subscription protocol on both
+// substrates: result emissions sum to the report's produced count, a
+// scripted crash+recovery surfaces as events, and live Stats track the
+// run.
+func TestSessionResultsAndEvents(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	mkPol := func() rt.Policy {
+		return &rt.StaticPolicy{PolicyName: "FIXED", Plan: query.Plan{1, 0}, Assign: []int{0, 1}}
+	}
+	fp := confFaultPlan(chaos.Checkpoint)
+	ctx := context.Background()
+
+	for name, ses := range openConformanceSessions(t, q, cl, mkPol, fp, 1<<15) {
+		feed := conformanceEngineExecutor(q, cl).(*engine.Executor).Feed
+		for b := feed.Next(); b != nil; b = feed.Next() {
+			if err := ses.Ingest(ctx, b); err != nil {
+				t.Fatalf("%s ingest: %v", name, err)
+			}
+		}
+		mid := ses.Stats()
+		if mid.Ingested == 0 || mid.VirtualTime == 0 {
+			t.Errorf("%s: live stats empty mid-run: %+v", name, mid)
+		}
+		rep, err := ses.Close(ctx)
+		if err != nil {
+			t.Fatalf("%s close: %v", name, err)
+		}
+		if _, err := ses.Close(ctx); err != nil {
+			t.Errorf("%s: second Close errored: %v", name, err)
+		}
+		if err := ses.Ingest(ctx, feedBatch(q)); err != rt.ErrClosed {
+			t.Errorf("%s: ingest after Close: %v, want ErrClosed", name, err)
+		}
+
+		var resultSum float64
+		for rb := range ses.Results() {
+			resultSum += rb.Count
+		}
+		if math.Abs(resultSum-rep.Produced) > 1e-6 {
+			t.Errorf("%s: result stream sum %.2f != report produced %.2f", name, resultSum, rep.Produced)
+		}
+		kinds := map[rt.EventKind]int{}
+		for ev := range ses.Events() {
+			kinds[ev.Kind]++
+		}
+		if kinds[rt.EventCrash] != 1 || kinds[rt.EventRecovery] != 1 {
+			t.Errorf("%s: crash/recovery events = %d/%d, want 1/1 (%v)",
+				name, kinds[rt.EventCrash], kinds[rt.EventRecovery], kinds)
+		}
+		if rep.Crashes != 1 {
+			t.Errorf("%s: report crashes = %d, want 1", name, rep.Crashes)
+		}
+		if st := ses.Stats(); st.ResultsDropped != 0 {
+			t.Errorf("%s: dropped %d results despite ample buffer", name, st.ResultsDropped)
+		}
+	}
+}
+
+// feedBatch builds a minimal post-close probe batch.
+func feedBatch(q *query.Query) *stream.Batch {
+	b := stream.NewBatch(q.Streams[0])
+	ts := stream.Time(confHorizon + 1)
+	b.Append(&stream.Tuple{Stream: q.Streams[0], Ts: ts, Key: 1, Vals: []float64{10}, Arrival: ts})
+	return b
+}

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -211,21 +212,33 @@ type node struct {
 	epoch int
 }
 
-// Sim is one simulation run.
+// Sim is one simulation run. It is an incremental discrete-event core:
+// Run drives it to the horizon off the scenario's own arrival processes,
+// while the Session adapter advances it batch-by-batch off externally
+// ingested timestamps. All methods are single-goroutine; the Session
+// serializes access.
 type Sim struct {
-	sc      *Scenario
-	pol     Policy
-	rng     *rand.Rand
-	events  eventQueue
-	seq     int64
-	now     float64
-	nodes   []*node
-	assign  physical.Assignment
-	paused  map[int]float64 // op → pause end time
-	monitor *stats.Monitor
-	res     *metrics.Runtime
-	lastKey string // last batch plan key, for switch counting
-	batchID int64
+	sc       *Scenario
+	pol      Policy
+	rng      *rand.Rand
+	events   eventQueue
+	seq      int64
+	now      float64
+	nodes    []*node
+	assign   physical.Assignment
+	paused   map[int]float64 // op → pause end time
+	monitor  *stats.Monitor
+	res      *metrics.Runtime
+	lastKey  string // last batch plan key, for switch counting
+	batchID  int64
+	finished bool
+
+	// onResult, when set, observes every completed batch: virtual time
+	// and (possibly fractional) result-tuple count.
+	onResult func(t, count float64)
+	// onEvent, when set, observes plan switches, migrations, and fault
+	// edges as runtime session events.
+	onEvent func(ev runtime.Event)
 }
 
 // New prepares a run of scenario sc under policy pol.
@@ -273,12 +286,10 @@ func (s *Sim) push(e *event) {
 	heap.Push(&s.events, e)
 }
 
-// Run executes the simulation and returns its metrics.
-func (s *Sim) Run() *metrics.Runtime {
-	// Seed arrivals, sampling, control ticks, and scripted faults.
-	for _, st := range s.sc.Query.Streams {
-		s.scheduleNextBatch(st, 0)
-	}
+// seedControl books the recurring sampling and control-tick events plus
+// the scripted fault edges — the machinery every run needs regardless of
+// where its arrivals come from.
+func (s *Sim) seedControl() {
 	s.push(&event{t: s.sc.SampleEvery, kind: evSample})
 	s.push(&event{t: s.sc.TickEvery, kind: evTick})
 	if !s.sc.Faults.Empty() {
@@ -287,52 +298,95 @@ func (s *Sim) Run() *metrics.Runtime {
 			s.push(&event{t: f.Until, kind: evFaultEnd, fault: i})
 		}
 	}
+}
 
+// seedArrivals books the scenario's own arrival processes (Run mode; an
+// externally driven session supplies batches instead).
+func (s *Sim) seedArrivals() {
+	for _, st := range s.sc.Query.Streams {
+		s.scheduleNextBatch(st, 0)
+	}
+}
+
+// Run executes the simulation off the scenario's arrival processes and
+// returns its metrics.
+func (s *Sim) Run() *metrics.Runtime {
+	s.seedArrivals()
+	s.seedControl()
+	s.advanceTo(s.sc.Horizon)
+	return s.finish()
+}
+
+// advanceTo processes every queued event up to and including virtual time
+// target, then advances the clock to target. Recurring events (arrivals,
+// ticks, samples) re-book themselves, so the bound is what terminates the
+// loop.
+func (s *Sim) advanceTo(target float64) {
 	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.t > s.sc.Horizon {
+		if s.events[0].t > target {
 			break
 		}
+		e := heap.Pop(&s.events).(*event)
 		s.now = e.t
-		switch e.kind {
-		case evBatch:
-			if e.poll {
-				s.scheduleNextBatch(e.stream, s.now)
-			} else {
-				s.onBatch(e.stream)
-			}
-		case evStageDone:
-			s.onStageDone(e.node, e.epoch)
-		case evMigrationEnd:
-			s.onMigrationEnd(e.op)
-		case evTick:
-			s.onTick()
-			s.push(&event{t: s.now + s.sc.TickEvery, kind: evTick})
-		case evSample:
-			s.onSample()
-			s.push(&event{t: s.now + s.sc.SampleEvery, kind: evSample})
-		case evFaultBegin:
-			s.onFaultBegin(e.fault)
-		case evFaultEnd:
-			s.onFaultEnd(e.fault)
-		}
+		s.dispatch(e)
 	}
-	// Nodes still down when the horizon cuts the run accrue downtime to
-	// the end, and their frozen queues count as lost: the replay their
-	// recovery would have triggered never comes (the live engine
-	// likewise loses a still-down node's parked backlog at Stop).
+	if target > s.now {
+		s.now = target
+	}
+}
+
+func (s *Sim) dispatch(e *event) {
+	switch e.kind {
+	case evBatch:
+		if e.poll {
+			s.scheduleNextBatch(e.stream, s.now)
+		} else {
+			s.onBatch(e.stream)
+		}
+	case evStageDone:
+		s.onStageDone(e.node, e.epoch)
+	case evMigrationEnd:
+		s.onMigrationEnd(e.op)
+	case evTick:
+		s.onTick()
+		s.push(&event{t: s.now + s.sc.TickEvery, kind: evTick})
+	case evSample:
+		s.onSample()
+		s.push(&event{t: s.now + s.sc.SampleEvery, kind: evSample})
+	case evFaultBegin:
+		s.onFaultBegin(e.fault)
+	case evFaultEnd:
+		s.onFaultEnd(e.fault)
+	}
+}
+
+// finish closes the run's books (idempotent): nodes still down at the end
+// accrue downtime to the cut, and their frozen queues count as lost — the
+// replay their recovery would have triggered never comes (the live engine
+// likewise loses a still-down node's parked backlog at Stop). The cut is
+// the horizon, or the clock's high-water mark for an externally driven
+// session that ran past it.
+func (s *Sim) finish() *metrics.Runtime {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
+	end := s.sc.Horizon
+	if s.now > end {
+		end = s.now
+	}
 	for _, n := range s.nodes {
 		if !n.down {
 			continue
 		}
-		s.res.DownSeconds += s.sc.Horizon - n.downSince
+		s.res.DownSeconds += end - n.downSince
 		for _, it := range n.queue {
 			s.loseItem(it)
 		}
 		n.queue = nil
 		n.queued = 0
 	}
-	s.res.ProducedOverTime.Record(s.sc.Horizon, s.res.Produced)
+	s.res.ProducedOverTime.Record(end, s.res.Produced)
 	return s.res
 }
 
@@ -342,59 +396,98 @@ func (s *Sim) loseItem(it *item) {
 	s.res.TuplesLost += it.b.tuples * it.b.carry
 }
 
+// recoveryMode returns the run's crash-recovery semantics (Checkpoint
+// when no fault plan declares otherwise, matching enqueueStage's freeze
+// behaviour for nodes crashed outside any plan).
+func (s *Sim) recoveryMode() chaos.RecoveryMode {
+	if s.sc.Faults != nil {
+		return s.sc.Faults.Mode
+	}
+	return chaos.Checkpoint
+}
+
+// crashNode takes a node down and reports whether it applied (false when
+// already down): the queue is dropped (LoseState) or frozen (Checkpoint)
+// and the in-flight service is voided via the epoch bump.
+func (s *Sim) crashNode(nodeID int) bool {
+	n := s.nodes[nodeID]
+	if n.down {
+		return false
+	}
+	n.down = true
+	n.downSince = s.now
+	// Void the in-flight service completion: its evStageDone carries
+	// the old epoch.
+	n.epoch++
+	s.res.Crashes++
+	if s.recoveryMode() == chaos.LoseState {
+		if n.serving != nil {
+			s.loseItem(n.serving)
+		}
+		for _, it := range n.queue {
+			s.loseItem(it)
+		}
+		n.queue = nil
+		n.queued = 0
+	} else if n.serving != nil {
+		// Checkpoint mode: the interrupted item restarts from scratch
+		// on recovery; its work stays in the queued total.
+		n.queue = append([]*item{n.serving}, n.queue...)
+	}
+	n.serving = nil
+	n.busy = false
+	if s.onEvent != nil {
+		s.onEvent(runtime.Event{Kind: runtime.EventCrash, T: s.now, Node: nodeID, Op: -1})
+	}
+	return true
+}
+
+// recoverNode brings a crashed node back and reports whether it applied:
+// its frozen queue (Checkpoint mode) resumes service.
+func (s *Sim) recoverNode(nodeID int) bool {
+	n := s.nodes[nodeID]
+	if !n.down {
+		return false
+	}
+	n.down = false
+	s.res.DownSeconds += s.now - n.downSince
+	if s.onEvent != nil {
+		s.onEvent(runtime.Event{Kind: runtime.EventRecovery, T: s.now, Node: nodeID, Op: -1})
+	}
+	s.tryServe(n)
+	return true
+}
+
+// slowNode sets a node's capacity factor (1 restores full speed).
+// In-service work keeps its already-scheduled completion; only services
+// started while slowed pay the factor.
+func (s *Sim) slowNode(nodeID int, factor float64) {
+	s.nodes[nodeID].slow = factor
+	if s.onEvent != nil {
+		s.onEvent(runtime.Event{Kind: runtime.EventSlowdown, T: s.now, Node: nodeID, Op: -1, Factor: factor})
+	}
+}
+
 // onFaultBegin applies the onset of fault i: a crash empties or freezes
 // the node, a slowdown scales its capacity for newly started services.
 func (s *Sim) onFaultBegin(i int) {
 	f := s.sc.Faults.Faults[i]
-	n := s.nodes[f.Node]
 	switch f.Kind {
 	case chaos.Crash:
-		if n.down {
-			return
-		}
-		n.down = true
-		n.downSince = s.now
-		// Void the in-flight service completion: its evStageDone carries
-		// the old epoch.
-		n.epoch++
-		s.res.Crashes++
-		if s.sc.Faults.Mode == chaos.LoseState {
-			if n.serving != nil {
-				s.loseItem(n.serving)
-			}
-			for _, it := range n.queue {
-				s.loseItem(it)
-			}
-			n.queue = nil
-			n.queued = 0
-		} else if n.serving != nil {
-			// Checkpoint mode: the interrupted item restarts from scratch
-			// on recovery; its work stays in the queued total.
-			n.queue = append([]*item{n.serving}, n.queue...)
-		}
-		n.serving = nil
-		n.busy = false
+		s.crashNode(f.Node)
 	case chaos.Slowdown:
-		n.slow = f.Factor
-		// In-service work keeps its already-scheduled completion; only
-		// services started while slowed pay the factor.
+		s.slowNode(f.Node, f.Factor)
 	}
 }
 
 // onFaultEnd applies the end of fault i: recovery or return to full speed.
 func (s *Sim) onFaultEnd(i int) {
 	f := s.sc.Faults.Faults[i]
-	n := s.nodes[f.Node]
 	switch f.Kind {
 	case chaos.Crash:
-		if !n.down {
-			return
-		}
-		n.down = false
-		s.res.DownSeconds += s.now - n.downSince
-		s.tryServe(n)
+		s.recoverNode(f.Node)
 	case chaos.Slowdown:
-		n.slow = 1
+		s.slowNode(f.Node, 1)
 	}
 }
 
@@ -414,6 +507,15 @@ func (s *Sim) scheduleNextBatch(streamName string, from float64) {
 
 func (s *Sim) onBatch(streamName string) {
 	s.scheduleNextBatch(streamName, s.now)
+	s.admit(float64(s.sc.BatchSize))
+}
+
+// admit runs the per-batch admission protocol for tuples source tuples
+// arriving now: classify to a plan, charge the classification overhead,
+// apply admission control, account, and enqueue the first stage. It is
+// shared by the scenario's own arrivals (onBatch) and externally ingested
+// batches (Session).
+func (s *Sim) admit(tuples float64) {
 	snap := s.monitor.Snapshot()
 	plan := s.pol.PlanFor(s.now, snap)
 	if plan == nil {
@@ -426,7 +528,7 @@ func (s *Sim) onBatch(streamName string) {
 		id:      s.batchID,
 		arrival: s.now,
 		plan:    plan,
-		tuples:  float64(s.sc.BatchSize),
+		tuples:  tuples,
 		carry:   1,
 	}
 	s.batchID++
@@ -447,6 +549,9 @@ func (s *Sim) onBatch(streamName string) {
 	if k != s.lastKey {
 		if s.lastKey != "" {
 			s.res.PlanSwitches++
+			if s.onEvent != nil {
+				s.onEvent(runtime.Event{Kind: runtime.EventPlanSwitch, T: s.now, Node: -1, Op: -1, Plan: k})
+			}
 		}
 		s.lastKey = k
 	}
@@ -520,6 +625,9 @@ func (s *Sim) onStageDone(nodeID int, epoch int) {
 			out := b.tuples * b.carry
 			s.res.Produced += out
 			s.res.Latency.Observe(s.now-b.arrival, b.tuples)
+			if s.onResult != nil && out > 0 {
+				s.onResult(s.now, out)
+			}
 		} else {
 			s.enqueueStage(b)
 		}
@@ -543,12 +651,18 @@ func (s *Sim) onTick() {
 	if mig == nil {
 		return
 	}
+	s.applyMigration(mig)
+}
+
+// applyMigration validates and applies one migration request, reporting
+// whether it took effect (out-of-range or same-node requests are no-ops).
+func (s *Sim) applyMigration(mig *Migration) bool {
 	if mig.Op < 0 || mig.Op >= len(s.assign) || mig.To < 0 || mig.To >= len(s.nodes) {
-		return
+		return false
 	}
 	from := s.assign[mig.Op]
 	if from == mig.To {
-		return
+		return false
 	}
 	// Move queued items of the operator to the destination node; they
 	// stay frozen until the migration completes.
@@ -572,8 +686,12 @@ func (s *Sim) onTick() {
 	s.paused[mig.Op] = s.now + dt
 	s.res.Migrations++
 	s.res.MigrationDowntime += dt
+	if s.onEvent != nil {
+		s.onEvent(runtime.Event{Kind: runtime.EventMigration, T: s.now, Node: mig.To, Op: mig.Op})
+	}
 	s.push(&event{t: s.now + dt, kind: evMigrationEnd, op: mig.Op})
 	s.tryServe(src)
+	return true
 }
 
 func (s *Sim) onMigrationEnd(op int) {
@@ -599,9 +717,10 @@ func Run(sc *Scenario, pol Policy) (*metrics.Runtime, error) {
 }
 
 // Executor adapts the simulator to the substrate-agnostic
-// runtime.Executor interface: every Execute call runs a fresh copy of the
-// scenario under the given policy and converts the metrics into the shared
-// Report.
+// runtime.Executor interface: every Execute call opens a fresh session of
+// the scenario in ScenarioArrivals mode — the simulation's own arrival
+// processes supply the batches — and closes it, which runs the simulation
+// to the horizon and converts the metrics into the shared Report.
 type Executor struct {
 	Scenario *Scenario
 }
@@ -611,12 +730,12 @@ func (x *Executor) Substrate() string { return "sim" }
 
 // Execute implements runtime.Executor.
 func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
-	sc := *x.Scenario // shallow copy: Run mutates defaulted fields only
-	res, err := Run(&sc, pol)
+	sc := *x.Scenario // shallow copy: the run mutates defaulted fields only
+	ses, err := OpenSession(&sc, pol, SessionOptions{ScenarioArrivals: true})
 	if err != nil {
 		return nil, err
 	}
-	return runtime.FromSim(res), nil
+	return ses.Close(context.Background())
 }
 
 // SetFaults implements runtime.FaultInjector: subsequent Execute calls

@@ -1,0 +1,301 @@
+package rld
+
+import (
+	"context"
+	"fmt"
+
+	"rld/internal/engine"
+	"rld/internal/runtime"
+	"rld/internal/sim"
+	"rld/internal/stream"
+)
+
+// Session protocol types (internal/runtime): the long-lived streaming API
+// both substrates implement.
+type (
+	// Session is the substrate-agnostic streaming session a Pipeline
+	// wraps: Ingest with backpressure, Results/Events subscriptions, live
+	// Stats, policy hot-swap, and graceful Close. The live engine
+	// implements it natively; the simulator implements it through a
+	// virtual-time adapter, so tests drive the identical surface.
+	Session = runtime.Session
+	// Event is one runtime occurrence on a session's Events stream.
+	Event = runtime.Event
+	// EventKind classifies Events.
+	EventKind = runtime.EventKind
+	// ResultBatch is one sink emission on a session's Results stream.
+	ResultBatch = runtime.ResultBatch
+	// PipelineStats is a live snapshot of a running session's counters.
+	PipelineStats = runtime.SessionStats
+	// Joined is one joined result tuple (ResultBatch.Tuples elements).
+	Joined = stream.Joined
+)
+
+// Event kinds surfaced on Pipeline.Events.
+const (
+	EventPlanSwitch = runtime.EventPlanSwitch
+	EventPolicySwap = runtime.EventPolicySwap
+	EventMigration  = runtime.EventMigration
+	EventCrash      = runtime.EventCrash
+	EventRecovery   = runtime.EventRecovery
+	EventSlowdown   = runtime.EventSlowdown
+	EventCheckpoint = runtime.EventCheckpoint
+)
+
+// Sentinel errors. Session-protocol errors come from internal/runtime,
+// engine failure classes from internal/engine; all are matched with
+// errors.Is.
+var (
+	// ErrClosed reports an operation on a closed Pipeline.
+	ErrClosed = runtime.ErrClosed
+	// ErrBackpressure reports a TryIngest rejected at capacity.
+	ErrBackpressure = runtime.ErrBackpressure
+	// ErrStopped reports an operation on a stopped engine.
+	ErrStopped = engine.ErrStopped
+	// ErrNotStarted reports an Ingest before the engine started.
+	ErrNotStarted = engine.ErrNotStarted
+	// ErrUnknownNode reports a node index outside the cluster.
+	ErrUnknownNode = engine.ErrUnknownNode
+	// ErrUnknownOp reports an operator index outside the query.
+	ErrUnknownOp = engine.ErrUnknownOp
+	// ErrNodeDown reports an Ingest into a fully-crashed cluster.
+	ErrNodeDown = engine.ErrNodeDown
+	// ErrInvalidPlan reports a plan chooser returning an invalid plan.
+	ErrInvalidPlan = engine.ErrInvalidPlan
+	// ErrBadPlacement reports an incomplete or out-of-range placement.
+	ErrBadPlacement = engine.ErrBadPlacement
+)
+
+// pipelineConfig is the resolved functional-option state.
+type pipelineConfig struct {
+	engine       EngineConfig
+	tickEvery    float64
+	horizon      float64
+	faults       *FaultPlan
+	resultBuffer int
+	eventBuffer  int
+	maxPending   int
+	havePending  bool
+	sim          *Scenario
+	batchSize    int
+}
+
+// Option configures Open — the functional-option replacement for filling
+// EngineConfig struct literals at the public surface.
+type Option func(*pipelineConfig)
+
+// WithWorkers sets the per-node worker-goroutine count (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *pipelineConfig) { c.engine.Workers = n } }
+
+// WithShards sets the join-window hash-shard count per operator (0 = 16;
+// rounded up to a power of two).
+func WithShards(n int) Option { return func(c *pipelineConfig) { c.engine.Shards = n } }
+
+// WithInboxSize sets the per-node inbox buffer, the unit backpressure is
+// measured in.
+func WithInboxSize(n int) Option { return func(c *pipelineConfig) { c.engine.InboxSize = n } }
+
+// WithMaxFanout caps join results per probe (0 = unlimited).
+func WithMaxFanout(n int) Option { return func(c *pipelineConfig) { c.engine.MaxFanout = n } }
+
+// WithEngineConfig replaces the whole engine configuration — the escape
+// hatch for callers migrating from EngineConfig struct literals.
+func WithEngineConfig(cfg EngineConfig) Option { return func(c *pipelineConfig) { c.engine = cfg } }
+
+// WithFaults installs a scripted fault schedule, applied as the pipeline's
+// virtual clock passes each fault's edges.
+func WithFaults(fp *FaultPlan) Option { return func(c *pipelineConfig) { c.faults = fp } }
+
+// WithTickEvery sets the control (Rebalance) period in virtual seconds
+// (default 5).
+func WithTickEvery(seconds float64) Option {
+	return func(c *pipelineConfig) { c.tickEvery = seconds }
+}
+
+// WithHorizon sets the virtual-time end used to finalize fault accounting
+// at Close (default: the clock's high-water mark).
+func WithHorizon(seconds float64) Option { return func(c *pipelineConfig) { c.horizon = seconds } }
+
+// WithBufferedResults enables the Results subscription with an n-slot
+// buffer. Without it the pipeline only counts results; with it every
+// non-empty sink emission is delivered (emissions beyond a full buffer are
+// dropped and counted in Stats().ResultsDropped).
+func WithBufferedResults(n int) Option { return func(c *pipelineConfig) { c.resultBuffer = n } }
+
+// WithBufferedEvents sets the Events subscription buffer (default 64).
+func WithBufferedEvents(n int) Option { return func(c *pipelineConfig) { c.eventBuffer = n } }
+
+// WithMaxPending bounds in-flight messages: Ingest blocks and TryIngest
+// returns ErrBackpressure at the bound. n < 0 disables backpressure. The
+// default is InboxSize × nodes.
+func WithMaxPending(n int) Option {
+	return func(c *pipelineConfig) { c.maxPending = n; c.havePending = true }
+}
+
+// WithSimulation opens the pipeline on the discrete-event simulator
+// instead of the live engine: the scenario supplies the cost-model truth
+// (capacities, true rate/selectivity profiles, horizon), ingested batch
+// timestamps drive virtual time, and batches are abstracted to their
+// tuple counts. The scenario's nil fields default from the deployment.
+func WithSimulation(sc *Scenario) Option { return func(c *pipelineConfig) { c.sim = sc } }
+
+// WithClassifyBatch sets the ruster size used to account the default RLD
+// policy's classification overhead when Open is called with a nil policy
+// (default 100, the paper's minimum).
+func WithClassifyBatch(n int) Option { return func(c *pipelineConfig) { c.batchSize = n } }
+
+// Pipeline is a long-lived, context-aware streaming session over a
+// compiled RLD deployment — the session-oriented public API. A Pipeline is
+// running from the moment Open returns:
+//
+//	pipe, err := rld.Open(ctx, dep, nil, rld.WithWorkers(4), rld.WithBufferedResults(256))
+//	go func() {
+//		for rb := range pipe.Results() { consume(rb) }
+//	}()
+//	for batch := range batches {
+//		if err := pipe.Ingest(ctx, batch); err != nil { ... }
+//	}
+//	report, err := pipe.Close(ctx)
+//
+// Ingest applies blocking backpressure (TryIngest is the non-blocking
+// variant), Results/Events are subscriptions, Stats can be polled live,
+// SwapPolicy hot-swaps the load-distribution strategy without restarting,
+// and Close drains then shuts down, honoring the context's deadline. All
+// methods are safe for concurrent use.
+type Pipeline struct {
+	s runtime.Session
+}
+
+// Open starts a streaming session executing dep's query under pol (nil:
+// dep's own RLD policy) — on the live sharded engine by default, or on the
+// simulator's virtual-time adapter with WithSimulation. The batch-replay
+// Executors remain for finite feeds; Open is the continuous-query surface
+// a server embeds.
+func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pipeline, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("rld: Open needs a deployment")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := pipelineConfig{engine: DefaultEngineConfig()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if pol == nil {
+		bs := cfg.batchSize
+		if bs <= 0 {
+			bs = 100
+		}
+		pol = dep.NewPolicy(bs)
+	}
+	if cfg.sim != nil {
+		sc := *cfg.sim
+		if sc.Query == nil {
+			sc.Query = dep.Query
+		}
+		if sc.Cluster == nil {
+			sc.Cluster = dep.Cluster
+		}
+		if sc.Faults == nil {
+			sc.Faults = cfg.faults
+		}
+		if sc.Horizon == 0 {
+			sc.Horizon = cfg.horizon
+		}
+		if cfg.tickEvery > 0 && cfg.sim.TickEvery == 0 {
+			sc.TickEvery = cfg.tickEvery
+		}
+		s, err := sim.OpenSession(&sc, pol, sim.SessionOptions{
+			ResultBuffer: cfg.resultBuffer,
+			EventBuffer:  cfg.eventBuffer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Pipeline{s: s}, nil
+	}
+	maxPending := cfg.maxPending
+	if !cfg.havePending {
+		inbox := cfg.engine.InboxSize
+		if inbox < 1 {
+			inbox = 1024
+		}
+		maxPending = inbox * dep.Cluster.N()
+	}
+	s, err := engine.OpenSession(dep.Query, dep.Cluster.N(), pol, engine.SessionOptions{
+		Config:       cfg.engine,
+		TickEvery:    cfg.tickEvery,
+		Faults:       cfg.faults,
+		Horizon:      cfg.horizon,
+		ResultBuffer: cfg.resultBuffer,
+		EventBuffer:  cfg.eventBuffer,
+		MaxPending:   maxPending,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{s: s}, nil
+}
+
+// Substrate reports what executes the pipeline ("engine" or "sim").
+func (p *Pipeline) Substrate() string { return p.s.Substrate() }
+
+// Ingest admits one batch, blocking while the pipeline is at its in-flight
+// capacity; it returns ctx.Err() if the context ends first, ErrClosed
+// after Close, or a typed engine error (ErrNodeDown, …). Batch timestamps
+// drive the pipeline's virtual clock — control ticks and scripted faults
+// fire as it advances — and must not decrease across calls.
+func (p *Pipeline) Ingest(ctx context.Context, b *Batch) error { return p.s.Ingest(ctx, b) }
+
+// TryIngest admits one batch without blocking: ErrBackpressure at
+// capacity, otherwise as Ingest.
+func (p *Pipeline) TryIngest(b *Batch) error { return p.s.TryIngest(b) }
+
+// Results returns the result subscription (nil unless opened with
+// WithBufferedResults). The channel closes after Close completes.
+func (p *Pipeline) Results() <-chan ResultBatch { return p.s.Results() }
+
+// Events returns the runtime event stream: plan switches, policy swaps,
+// migrations, crashes/recoveries, slowdowns, and checkpoint completions.
+// The channel closes after Close completes.
+func (p *Pipeline) Events() <-chan Event { return p.s.Events() }
+
+// Stats returns a live snapshot of the run's counters.
+func (p *Pipeline) Stats() PipelineStats { return p.s.Stats() }
+
+// SwapPolicy hot-swaps the load-distribution policy: subsequent batches
+// classify under pol and subsequent control ticks call its Rebalance. The
+// live operator placement is kept — the new policy inherits it and may
+// migrate from there.
+func (p *Pipeline) SwapPolicy(pol Policy) error { return p.s.SwapPolicy(pol) }
+
+// Migrate relocates one operator to another node immediately (operations
+// tooling; policies normally migrate via Rebalance).
+func (p *Pipeline) Migrate(op, node int) error { return p.s.Migrate(op, node) }
+
+// Crash takes a node down exactly as a scripted fault would — chaos
+// testing against a live pipeline.
+func (p *Pipeline) Crash(node int) error { return p.s.Crash(node) }
+
+// Recover brings a crashed node back, replaying parked work.
+func (p *Pipeline) Recover(node int) error { return p.s.Recover(node) }
+
+// Close drains in-flight work, shuts the pipeline down, and returns the
+// final Report. When ctx ends before the drain completes, Close returns
+// ctx.Err() and finishes the shutdown in the background; later Close calls
+// return the stored Report.
+func (p *Pipeline) Close(ctx context.Context) (*Report, error) { return p.s.Close(ctx) }
+
+// Replay drives feed through a Session to exhaustion, closes it, and
+// returns the final report — the bridge between the finite-feed Executor
+// world and sessions. A *Pipeline is itself a Session, so
+// rld.Replay(ctx, pipe, feed) replays a recorded feed through a live
+// pipeline.
+func Replay(ctx context.Context, s Session, feed Feed) (*Report, error) {
+	return runtime.Replay(ctx, s, feed)
+}
+
+// A Pipeline is itself a Session: the public wrapper adds nothing beyond
+// doc surface and option handling at Open.
+var _ Session = (*Pipeline)(nil)

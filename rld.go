@@ -22,15 +22,27 @@
 //	...
 //	plan, _ := dep.Classify(snapshot)              // per-batch routing
 //
-// Deployments plug into two substrates behind one policy layer
-// (internal/runtime): a discrete-event simulator (rld.Run /
-// rld.NewSimExecutor, for reproducible experiments — see cmd/rldbench) and
-// a live sharded multi-worker dataflow engine (rld.NewEngine /
-// rld.NewEngineExecutor, used by the examples). Every load-distribution
-// strategy — RLD itself plus the ROD and DYN baselines of the paper's
-// evaluation (NewROD, NewDYN) — implements the substrate-agnostic
-// rld.Policy interface and runs unchanged on either substrate, both of
-// which fill the shared rld.Report result type:
+// Deployments execute as long-lived, context-aware streaming sessions:
+// rld.Open returns a running Pipeline with blocking-backpressure Ingest,
+// Results/Events subscriptions, live Stats, online policy hot-swap
+// (SwapPolicy), and graceful drain-then-shutdown (Close):
+//
+//	pipe, _ := rld.Open(ctx, dep, nil, rld.WithWorkers(4), rld.WithBufferedResults(256))
+//	for batch := range batches {
+//		_ = pipe.Ingest(ctx, batch)                // blocking backpressure
+//	}
+//	report, _ := pipe.Close(ctx)
+//
+// Pipelines run on two substrates behind one policy layer
+// (internal/runtime): the live sharded multi-worker dataflow engine (the
+// default, used by the examples) and a discrete-event simulator
+// (rld.WithSimulation / rld.Run, for reproducible experiments — see
+// cmd/rldbench), which implements the identical session protocol through a
+// virtual-time adapter. Every load-distribution strategy — RLD itself plus
+// the ROD and DYN baselines of the paper's evaluation (NewROD, NewDYN) —
+// implements the substrate-agnostic rld.Policy interface and runs
+// unchanged on either substrate. The finite-feed batch-replay path is kept
+// as thin replay loops over sessions, filling the shared rld.Report:
 //
 //	pol, _ := rld.NewROD(dep)                      // or NewDYN, dep.NewPolicy
 //	simRep, _ := rld.NewSimExecutor(sc).Execute(pol)
