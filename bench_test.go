@@ -10,7 +10,9 @@
 package rld
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -188,6 +190,76 @@ func BenchmarkEngineIngestCore(b *testing.B) {
 	}
 	b.StopTimer()
 	e.Drain()
+}
+
+// benchPipelineIngest drives b.N 100-tuple batches through one live
+// Pipeline from the given number of concurrent producers, under the
+// deployment's own RLD policy (per-batch classification included). The
+// workload is admission-heavy — every batch inserts its tuples into the
+// sharded join window and the downstream pipeline sinks early — so the
+// measured quantity is the ingest hot path itself.
+func benchPipelineIngest(b *testing.B, producers int) {
+	dep := benchDeployment(b, 0.2)
+	ctx := context.Background()
+	pipe, err := Open(ctx, dep, nil, WithShards(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 100
+	batches := make([]*Batch, producers)
+	for p := range batches {
+		batch := &Batch{Stream: "S2"}
+		for j := 0; j < batchSize; j++ {
+			batch.Tuples = append(batch.Tuples, &Tuple{
+				Stream: batch.Stream,
+				Seq:    uint64(p*batchSize + j),
+				Ts:     1, // constant virtual time: no tick edges, pure fast-path admission
+				Key:    int64(p*batchSize+j) % 1021,
+				Vals:   []float64{float64(j)},
+			})
+		}
+		batches[p] = batch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		cnt := b.N / producers
+		if p < b.N%producers {
+			cnt++
+		}
+		wg.Add(1)
+		go func(p, cnt int) {
+			defer wg.Done()
+			for i := 0; i < cnt; i++ {
+				if err := pipe.Ingest(ctx, batches[p]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(p, cnt)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "tuples/s")
+	if _, err := pipe.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineIngestParallel measures multi-producer admission
+// scaling on one Pipeline — the acceptance benchmark for the concurrent
+// admission path (the old design serialized every producer through one
+// session mutex, capping producers=4 at ~1× producers=1; on a multi-core
+// runner it should now exceed 2×). Run with:
+//
+//	go test -bench PipelineIngestParallel -benchtime 2s
+func BenchmarkPipelineIngestParallel(b *testing.B) {
+	for _, producers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("producers=%d", producers), func(b *testing.B) {
+			benchPipelineIngest(b, producers)
+		})
+	}
 }
 
 // BenchmarkERPByUncertainty reports ERP optimization cost as the declared

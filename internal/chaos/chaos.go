@@ -214,6 +214,16 @@ func (c *Cursor) Advance(now float64) []Event {
 // Done reports whether every event has been consumed.
 func (c *Cursor) Done() bool { return c.next >= len(c.events) }
 
+// Peek returns the next unconsumed event's time without consuming it; ok
+// is false when the cursor is exhausted. The live engine's session uses it
+// to decide, lock-free, whether an ingested batch crosses a fault edge.
+func (c *Cursor) Peek() (t float64, ok bool) {
+	if c.Done() {
+		return 0, false
+	}
+	return c.events[c.next].T, true
+}
+
 // String renders the plan in the -faults flag syntax; Parse inverts it.
 func (p *FaultPlan) String() string {
 	if p == nil {

@@ -12,14 +12,15 @@
 // the RLD runtime of §3, executed on real data.
 //
 // Nodes have a failure lifecycle (internal/chaos): Crash kills a node's
-// worker pool and reaps its inbox — parking work for replay or destroying
-// it, per the recovery mode — while Recover rebuilds join-window state
-// (checkpoint-restore or empty), restarts the pool, and replays the
-// parked backlog; SetSlowdown pauses part of the pool. Crashed nodes
-// report +Inf load so failure-aware policies can evacuate them.
+// worker pool and sweeps its queued work — parking it for replay or
+// destroying it, per the recovery mode — while Recover rebuilds
+// join-window state (checkpoint-restore or empty), restarts the pool, and
+// replays the parked backlog; SetSlowdown pauses part of the pool. Crashed
+// nodes report +Inf load so failure-aware policies can evacuate them.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	stdruntime "runtime"
@@ -56,7 +57,9 @@ func (f ChooserFunc) Choose(snap stats.Snapshot) query.Plan { return f(snap) }
 
 // Config tunes the engine.
 type Config struct {
-	// InboxSize is the per-node channel buffer (backpressure bound).
+	// InboxSize is the per-node channel buffer; work beyond it spills to
+	// the node's overflow ring, so it bounds worker handoff, not total
+	// in-flight messages (sessions bound those via MaxPending).
 	InboxSize int
 	// SelectThresholdScale maps operator selectivity estimates to value
 	// thresholds: a Select op passes tuples with Vals[0] <
@@ -248,32 +251,84 @@ type Results struct {
 // recycled after the call.
 type resultObserver func(tuples []*stream.Joined, ingress time.Time)
 
-// nodeState is one simulated node of the live engine: its inbox, worker
-// pool, and failure state. The worker pool is genuinely killed on Crash
-// (goroutines exit) and rebuilt on Recover.
+// nodeState is one simulated node of the live engine: its inbox, overflow
+// ring, worker pool, and failure state. The worker pool is genuinely killed
+// on Crash (goroutines exit) and rebuilt on Recover.
 type nodeState struct {
 	inbox chan *message
 	// active gates the pool during a transient slowdown: workers with
 	// index ≥ active pause without consuming messages, shrinking the
 	// node's effective capacity.
 	active atomic.Int32
+	// ovCount mirrors the overflow ring's length so workers can skip the
+	// lock when the ring is empty (the common case).
+	ovCount atomic.Int64
 
-	mu sync.Mutex // guards the failure state below
-	// down marks a crashed node: its pool is dead and its inbox is being
-	// reaped (parked for replay in Checkpoint mode, dropped in LoseState).
+	mu sync.Mutex // guards the failure state and overflow ring below
+	// down marks a crashed node: its pool is dead, its queued work has
+	// been reaped (parked for replay in Checkpoint mode, dropped in
+	// LoseState), and sends park or lose directly. The down check and the
+	// enqueue happen in one critical section, so no message can slip into
+	// the inbox after Crash's sweep.
 	down bool
 	mode chaos.RecoveryMode
 	// parked holds messages awaiting replay on recovery.
 	parked []*message
+	// overflow is the FIFO ring holding messages that did not fit the
+	// inbox: senders append at the tail, workers (and senders, after a
+	// push) flush from the head into the inbox as slots free up. Entries
+	// [ovHead:len) are live; the backing array is reset when drained.
+	// Replacing the old goroutine-per-message fallback, the ring keeps
+	// goroutine count flat under sustained overload and preserves
+	// per-stage arrival order (the logical queue is inbox followed by
+	// overflow, and nothing ever bypasses a non-empty ring).
+	overflow []*message
+	ovHead   int
 	// slow is the current capacity factor in (0, 1].
 	slow float64
+	// wake is closed and replaced when the node's active-worker count
+	// rises, waking workers paused by the slowdown gate.
+	wake chan struct{}
 	// quit kills the current worker pool when closed; wg tracks its
 	// membership.
 	quit chan struct{}
 	wg   sync.WaitGroup
-	// reapStop/reapDone bound the inbox reaper that runs while down.
-	reapStop chan struct{}
-	reapDone chan struct{}
+}
+
+// flushLocked moves overflow entries, oldest first, into the inbox while
+// there is room. Caller holds ns.mu.
+func (ns *nodeState) flushLocked() {
+	for ns.ovHead < len(ns.overflow) {
+		select {
+		case ns.inbox <- ns.overflow[ns.ovHead]:
+			ns.overflow[ns.ovHead] = nil
+			ns.ovHead++
+			ns.ovCount.Add(-1)
+		default:
+			// Inbox full again; compact a mostly-consumed ring so the
+			// backing array doesn't grow without bound across bursts.
+			if ns.ovHead > 0 && ns.ovHead*2 >= len(ns.overflow) {
+				n := copy(ns.overflow, ns.overflow[ns.ovHead:])
+				for i := n; i < len(ns.overflow); i++ {
+					ns.overflow[i] = nil
+				}
+				ns.overflow = ns.overflow[:n]
+				ns.ovHead = 0
+			}
+			return
+		}
+	}
+	ns.overflow = ns.overflow[:0]
+	ns.ovHead = 0
+}
+
+// wakeAll signals workers paused by the slowdown gate to re-check the
+// active count.
+func (ns *nodeState) wakeAll() {
+	ns.mu.Lock()
+	close(ns.wake)
+	ns.wake = make(chan struct{})
+	ns.mu.Unlock()
 }
 
 // Engine executes one continuous query across simulated nodes.
@@ -291,7 +346,7 @@ type Engine struct {
 	nodes []*nodeState
 	ops   []*opState
 
-	pending     atomic.Int64   // in-flight messages, for Drain
+	pending     atomic.Int64   // in-flight messages, for Drain/backpressure
 	nodeQueued  []atomic.Int64 // per-node queued+in-service messages
 	produced    atomic.Int64
 	latencyNano atomic.Int64 // summed batch ingress→sink latency
@@ -304,6 +359,20 @@ type Engine struct {
 	// resultObs, when set, taps every non-empty sink emission (sessions
 	// subscribe result streams through it).
 	resultObs atomic.Pointer[resultObserver]
+
+	// timeSource, when set, supplies monitor-offer timestamps (sessions
+	// install their virtual clock so the stats timeline matches the
+	// simulator's); nil falls back to wall-clock seconds.
+	timeSource atomic.Pointer[func() float64]
+
+	// waitCh/waitMu/waiters implement the event-driven pending-count
+	// notifier: every decrement of pending broadcasts (close-and-replace
+	// of waitCh) when someone is waiting, so Drain and backpressured
+	// producers block on a channel instead of polling. The waiters gate
+	// keeps the workers' hot path at one atomic load when nobody waits.
+	waitMu  sync.Mutex
+	waitCh  chan struct{}
+	waiters atomic.Int32
 
 	// snapMu guards snaps, the latest Checkpoint()'s per-op window
 	// contents (nil until the first checkpoint).
@@ -371,6 +440,7 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		rateCount:  make(map[string]float64),
 		nodeQueued: make([]atomic.Int64, nNodes),
 		stopDone:   make(chan struct{}),
+		waitCh:     make(chan struct{}),
 	}
 	a := assign.Clone()
 	e.assign.Store(&a)
@@ -385,6 +455,7 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		ns := &nodeState{
 			inbox: make(chan *message, cfg.InboxSize),
 			slow:  1,
+			wake:  make(chan struct{}),
 			quit:  make(chan struct{}),
 		}
 		ns.active.Store(int32(cfg.Workers))
@@ -419,36 +490,98 @@ func (e *Engine) worker(id, idx int) {
 	ns := e.nodes[id]
 	defer ns.wg.Done()
 	for {
-		// Slowdown gate: paused workers (index ≥ active) idle without
-		// consuming messages. One atomic load at full speed; the paused
-		// path polls with Sleep rather than time.After so a long
-		// slowdown doesn't churn timer allocations.
+		// Slowdown gate: paused workers (index ≥ active) block on the
+		// node's wake channel without consuming messages. One atomic load
+		// at full speed; the paused path sleeps until SetSlowdown or
+		// Recover raises the active count (or the pool is killed).
 		for int32(idx) >= ns.active.Load() {
+			ns.mu.Lock()
+			wake := ns.wake
+			ns.mu.Unlock()
+			if int32(idx) < ns.active.Load() {
+				break
+			}
 			select {
 			case <-ns.quit:
 				return
-			default:
+			case <-wake:
 			}
-			time.Sleep(200 * time.Microsecond)
 		}
 		select {
 		case <-ns.quit:
 			return
 		case msg := <-ns.inbox:
+			// The receive freed an inbox slot: pull overflowed work in
+			// before processing, so the ring drains in arrival order even
+			// while every worker is busy.
+			if ns.ovCount.Load() > 0 {
+				ns.mu.Lock()
+				ns.flushLocked()
+				ns.mu.Unlock()
+			}
 			e.process(msg)
 			e.nodeQueued[id].Add(-1)
 			e.pending.Add(-1)
+			e.wakePending()
 		}
 	}
 }
 
+// wakePending wakes everyone blocked in awaitPending after a pending-count
+// decrement. When nobody waits (the steady state) it is one atomic load.
+func (e *Engine) wakePending() {
+	if e.waiters.Load() == 0 {
+		return
+	}
+	e.waitMu.Lock()
+	close(e.waitCh)
+	e.waitCh = make(chan struct{})
+	e.waitMu.Unlock()
+}
+
+// awaitPending blocks until fewer than limit messages are in flight
+// (limit ≤ 1: until fully drained), the context ends, or closed closes —
+// returning nil, ctx.Err(), or runtime.ErrClosed respectively. Wakeups are
+// edge-triggered from the worker/sweep paths via wakePending; the
+// register-then-recheck order makes the wait lose no wakeup.
+func (e *Engine) awaitPending(ctx context.Context, limit int64, closed <-chan struct{}) error {
+	if limit < 1 {
+		limit = 1
+	}
+	for e.pending.Load() >= limit {
+		e.waiters.Add(1)
+		e.waitMu.Lock()
+		ch := e.waitCh
+		e.waitMu.Unlock()
+		if e.pending.Load() < limit {
+			e.waiters.Add(-1)
+			return nil
+		}
+		select {
+		case <-ch:
+			e.waiters.Add(-1)
+		case <-ctx.Done():
+			e.waiters.Add(-1)
+			return ctx.Err()
+		case <-closed:
+			e.waiters.Add(-1)
+			return runtime.ErrClosed
+		}
+	}
+	return nil
+}
+
 // send routes a message to the node hosting its current stage's operator.
 // A worker forwarding to its own (or any full) inbox must not block — that
-// would deadlock the pipeline — so full inboxes fall back to an async send;
-// Drain still accounts for the message via the pending counter. Messages
-// routed to a crashed node are parked for replay on recovery (Checkpoint
-// mode) or destroyed (LoseState); parked messages leave the pending count
-// so Drain does not wait out an outage.
+// would deadlock the pipeline — so messages that don't fit the inbox go to
+// the node's overflow ring, drained into the inbox in FIFO order by the
+// node's own workers; Drain still accounts for them via the pending
+// counter, and goroutine count stays flat under sustained overload.
+// Messages routed to a crashed node are parked for replay on recovery
+// (Checkpoint mode) or destroyed (LoseState); parked messages leave the
+// pending count so Drain does not wait out an outage. The down check and
+// the enqueue share one ns.mu critical section, so a send can never race a
+// crash into a swept inbox.
 func (e *Engine) send(msg *message) {
 	op := msg.plan[msg.stage]
 	node := (*e.assign.Load())[op]
@@ -464,14 +597,24 @@ func (e *Engine) send(msg *message) {
 		e.lose(msg)
 		return
 	}
-	ns.mu.Unlock()
 	e.pending.Add(1)
 	e.nodeQueued[node].Add(1)
-	select {
-	case ns.inbox <- msg:
-	default:
-		go func() { ns.inbox <- msg }()
+	if ns.ovHead == len(ns.overflow) {
+		select {
+		case ns.inbox <- msg:
+			ns.mu.Unlock()
+			return
+		default:
+		}
 	}
+	// Inbox full or ring non-empty: append behind everything queued, then
+	// flush in case a worker freed slots since the failed send — the
+	// flush-after-push closes the race that would otherwise strand the
+	// ring with idle workers.
+	ns.overflow = append(ns.overflow, msg)
+	ns.ovCount.Add(1)
+	ns.flushLocked()
+	ns.mu.Unlock()
 }
 
 // lose destroys a message routed to (or stranded on) a dead node,
@@ -592,7 +735,7 @@ func (e *Engine) SetResultObserver(obs func(tuples []*stream.Joined, ingress tim
 // Ingest admits one batch of tuples from a single stream: tuples are
 // inserted into their stream's windows, statistics are sampled, the batch is
 // classified to a plan, and the pipeline begins. Ingest never blocks: a full
-// inbox falls back to an asynchronous handoff (see send), so callers that
+// inbox spills to the node's FIFO overflow ring (see send), so callers that
 // outrun the workers must pace themselves via Drain — sessions enforce an
 // in-flight bound on top of this. Failures are typed: ErrNotStarted before
 // Start, ErrStopped after Stop, ErrNodeDown when every node is crashed, and
@@ -682,7 +825,25 @@ func (e *Engine) offerStats(force bool) {
 		rates[k] = v
 	}
 	e.mu.Unlock()
-	e.monitor.Offer(float64(time.Now().UnixNano())/1e9, sels, rates)
+	// Stamp offers with the installed time source (a session's virtual
+	// clock) so the stats timeline matches the simulator's instead of
+	// diverging with host speed; wall clock is the bare-engine fallback.
+	now := float64(time.Now().UnixNano()) / 1e9
+	if fn := e.timeSource.Load(); fn != nil {
+		now = (*fn)()
+	}
+	e.monitor.Offer(now, sels, rates)
+}
+
+// SetTimeSource installs (or, with nil, removes) the clock used to stamp
+// monitor offers: sessions install their virtual clock so observed
+// statistics line up with the simulator's timeline. Install before Start.
+func (e *Engine) SetTimeSource(fn func() float64) {
+	if fn == nil {
+		e.timeSource.Store(nil)
+		return
+	}
+	e.timeSource.Store(&fn)
 }
 
 // controlReady rejects control operations (Migrate/Crash/Recover/
@@ -760,7 +921,7 @@ func (e *Engine) Migrate(op, node int) error {
 
 // Crash takes a node down: its worker pool is killed (the goroutines
 // exit after finishing their in-flight batch — the crash boundary is the
-// inbox), and everything queued or subsequently routed to it is reaped:
+// inbox), and everything queued or subsequently routed to it is swept:
 // parked for replay on recovery under chaos.Checkpoint, destroyed and
 // counted as lost under chaos.LoseState. Crashing a crashed node is a
 // no-op. Crash must be called from the control goroutine (like Migrate).
@@ -780,60 +941,63 @@ func (e *Engine) Crash(node int, mode chaos.RecoveryMode) error {
 	e.downCount.Add(1)
 	ns.down = true
 	ns.mode = mode
-	ns.reapStop = make(chan struct{})
-	ns.reapDone = make(chan struct{})
 	quit := ns.quit
 	ns.mu.Unlock()
 	e.crashes.Add(1)
 	close(quit)
 	ns.wg.Wait()
-	go e.reap(node)
+	e.sweep(node)
 	return nil
 }
 
-// reap empties a down node's inbox for the duration of the outage —
-// including async-fallback senders that raced the crash — keeping the
-// pending count honest so Drain never waits on a dead node.
-func (e *Engine) reap(node int) {
+// sweep empties a freshly crashed node's inbox and overflow ring — parking
+// the backlog for replay (Checkpoint mode) or destroying it (LoseState) —
+// and keeps the pending count honest so Drain never waits on a dead node.
+// It runs once, synchronously, after the worker pool has exited: send's
+// down check is in the same critical section as its enqueue, so nothing
+// can land in either queue afterwards.
+func (e *Engine) sweep(node int) {
 	ns := e.nodes[node]
-	defer close(ns.reapDone)
-	take := func(msg *message) {
-		e.nodeQueued[node].Add(-1)
-		e.pending.Add(-1)
-		ns.mu.Lock()
-		if ns.mode == chaos.Checkpoint {
-			ns.parked = append(ns.parked, msg)
-			ns.mu.Unlock()
-			return
-		}
-		ns.mu.Unlock()
-		e.lose(msg)
-	}
+	ns.mu.Lock()
+	var backlog []*message
+drain:
 	for {
 		select {
 		case msg := <-ns.inbox:
-			take(msg)
-		case <-ns.reapStop:
-			// Final sweep: catch anything that landed before the stop.
-			for {
-				select {
-				case msg := <-ns.inbox:
-					take(msg)
-				default:
-					return
-				}
-			}
+			backlog = append(backlog, msg)
+		default:
+			break drain
 		}
+	}
+	// Ring entries arrived after everything in the inbox; keep FIFO.
+	backlog = append(backlog, ns.overflow[ns.ovHead:]...)
+	ns.overflow = nil
+	ns.ovHead = 0
+	ns.ovCount.Store(0)
+	park := ns.mode == chaos.Checkpoint
+	if park {
+		ns.parked = append(ns.parked, backlog...)
+	}
+	ns.mu.Unlock()
+	for _, msg := range backlog {
+		e.nodeQueued[node].Add(-1)
+		e.pending.Add(-1)
+		if !park {
+			e.lose(msg)
+		}
+	}
+	if len(backlog) > 0 {
+		e.wakePending()
 	}
 }
 
-// Recover brings a crashed node back: the inbox reaper is stopped, the
-// node's operators' join-window state is rebuilt (restored from the last
-// Checkpoint snapshot under chaos.Checkpoint — tuples newer than the
-// snapshot are lost — or cleared under chaos.LoseState), a fresh worker
-// pool is started, and parked messages are replayed through the current
-// routing table (so they follow any migrations made during the outage).
-// Recovering a live node is a no-op.
+// Recover brings a crashed node back: the node's operators' join-window
+// state is rebuilt (restored from the last Checkpoint snapshot under
+// chaos.Checkpoint — tuples newer than the snapshot are lost — or cleared
+// under chaos.LoseState), a fresh worker pool is started, and parked
+// messages are replayed through the current routing table (so they follow
+// any migrations made during the outage). Recovering a live node is a
+// no-op.
 func (e *Engine) Recover(node int) error {
 	if err := e.controlReady(); err != nil {
 		return err
@@ -849,8 +1013,6 @@ func (e *Engine) Recover(node int) error {
 	}
 	mode := ns.mode
 	ns.mu.Unlock()
-	close(ns.reapStop)
-	<-ns.reapDone
 	// Rebuild join-window state for the operators this node currently
 	// hosts (operators migrated away during the outage kept their state:
 	// the engine's state is shared memory, see Migrate).
@@ -873,6 +1035,7 @@ func (e *Engine) Recover(node int) error {
 	ns.quit = make(chan struct{})
 	ns.active.Store(e.activeWorkers(ns.slow))
 	ns.mu.Unlock()
+	ns.wakeAll()
 	e.startPool(node)
 	// Flip live and take the parked backlog atomically: later sends go
 	// straight to the inbox, everything parked before the flip replays.
@@ -909,6 +1072,9 @@ func (e *Engine) SetSlowdown(node int, factor float64) error {
 	ns.mu.Unlock()
 	if !down {
 		ns.active.Store(e.activeWorkers(factor))
+		// Paused workers block on the wake channel; signal them to
+		// re-check the active count (a no-op broadcast when lowering).
+		ns.wakeAll()
 	}
 	return nil
 }
@@ -1002,11 +1168,11 @@ func (e *Engine) NodeLoads() []float64 {
 	return out
 }
 
-// Drain blocks until all in-flight messages are processed.
+// Drain blocks until all in-flight messages are processed. The wait is
+// event-driven: workers signal every pending-count decrement, so Drain
+// wakes as the last message sinks instead of polling.
 func (e *Engine) Drain() {
-	for e.pending.Load() != 0 {
-		time.Sleep(200 * time.Microsecond)
-	}
+	e.awaitPending(context.Background(), 1, nil)
 }
 
 // Stop drains, shuts down the workers, and returns the run's results. A
@@ -1035,11 +1201,9 @@ func (e *Engine) Stop() Results {
 		down := ns.down
 		ns.mu.Unlock()
 		if down {
-			// A node still down at shutdown: stop its reaper and count
-			// its parked backlog as lost — there is no recovery to replay
-			// into.
-			close(ns.reapStop)
-			<-ns.reapDone
+			// A node still down at shutdown: its queues were swept at
+			// Crash, so only the parked backlog remains — count it as
+			// lost, there is no recovery to replay into.
 			ns.mu.Lock()
 			parked := ns.parked
 			ns.parked = nil

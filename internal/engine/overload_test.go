@@ -1,0 +1,103 @@
+package engine
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/stream"
+)
+
+// TestOverloadBoundedGoroutinesAndStageOrder pins the send overflow fix:
+// flooding a 1-node, tiny-inbox, single-worker engine must neither spawn
+// goroutines per overflowing message (the old full-inbox fallback was an
+// async goroutine handoff, unbounded under sustained overload) nor reorder
+// messages within a stage (racing handoff goroutines delivered in
+// scheduler order). With one worker and FIFO queues end to end, sink
+// emissions must arrive in exact ingest order. Run under -race in CI.
+func TestOverloadBoundedGoroutinesAndStageOrder(t *testing.T) {
+	q := twoWay()
+	q.Ops[0].Sel = 0.99 // selection passes the probes through to the join
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.InboxSize = 2 // force constant overflow under the flood
+	cfg.MaxFanout = 4
+	e, err := New(q, physical.Assignment{0, 0}, 1, StaticChooser{Plan: query.Plan{0, 1}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recording atomic.Bool
+	var mu sync.Mutex
+	var got []uint64
+	e.SetResultObserver(func(tuples []*stream.Joined, _ time.Time) {
+		if !recording.Load() {
+			return
+		}
+		// Each emission is one probe batch completing the pipeline; all
+		// its result tuples share the probe's S1 tuple.
+		for _, j := range tuples {
+			if t1 := j.Parts["S1"]; t1 != nil {
+				mu.Lock()
+				got = append(got, t1.Seq)
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	e.Start()
+
+	// Warm the S2 join window with one hot key so every probe produces
+	// results (and therefore a sink emission to order-check).
+	if err := e.Ingest(heavyBatch("S2", 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	recording.Store(true)
+
+	const flood = 3000
+	base := stdruntime.NumGoroutine()
+	peak := base
+	for i := 0; i < flood; i++ {
+		b := stream.NewBatch("S1")
+		ts := stream.Time(1 + float64(i)*1e-6)
+		b.Append(&stream.Tuple{Stream: "S1", Seq: uint64(i), Ts: ts, Key: 1, Vals: []float64{10}, Arrival: ts})
+		if err := e.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			if n := stdruntime.NumGoroutine(); n > peak {
+				peak = n
+			}
+		}
+	}
+	if n := stdruntime.NumGoroutine(); n > peak {
+		peak = n
+	}
+	e.Drain()
+	if res := e.Stop(); res.Produced == 0 {
+		t.Fatal("flood produced nothing")
+	}
+
+	// The old fallback spawned a goroutine per message that missed the
+	// inbox — thousands under this flood. The overflow ring spawns none;
+	// allow a little scheduler noise.
+	if peak > base+8 {
+		t.Fatalf("goroutines grew from %d to %d under overload; overflow must not spawn goroutines", base, peak)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != flood {
+		t.Fatalf("observed %d ordered emissions, want %d", len(got), flood)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("stage order violated at emission %d: seq %d after %d", i, got[i], got[i-1])
+		}
+	}
+}

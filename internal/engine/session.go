@@ -35,7 +35,9 @@ type SessionOptions struct {
 	EventBuffer int
 	// MaxPending bounds in-flight messages for backpressure: Ingest
 	// blocks and TryIngest rejects while the pipeline holds this many.
-	// <= 0 disables the bound (the replay Executor's historical mode).
+	// With concurrent producers the bound is approximate — each producer
+	// can admit one batch past it before observing the others. <= 0
+	// disables the bound (the replay Executor's historical mode).
 	MaxPending int
 }
 
@@ -46,6 +48,12 @@ type SessionOptions struct {
 // exactly the protocol the batch-replay Executor used to run inline, now
 // available to concurrent callers with backpressure, result/event
 // subscriptions, live stats, and policy hot-swap.
+//
+// Admission is concurrent: only the session protocol itself — clock
+// edges (ticks, faults, checkpoints), policy calls, and control ops — is
+// serialized. Producers on the fast path (no edge crossed) share a read
+// lock and run Engine.Ingest in parallel, so ingest throughput scales
+// with producer count instead of funneling through one mutex.
 type Session struct {
 	e    *Engine
 	q    *query.Query
@@ -56,25 +64,32 @@ type Session struct {
 	maxPending int64
 	start      time.Time
 
-	// vnow mirrors the virtual clock (float64 bits) for lock-free reads
-	// from worker-side result observers.
+	// vnow is the virtual clock (float64 bits, advanced by lock-free
+	// CAS-max from concurrent producers).
 	vnow atomic.Uint64
+	// nextEdge caches the earliest upcoming tick/checkpoint/fault edge
+	// (float64 bits): a batch whose timestamp stays below it takes the
+	// lock-free fast path; crossing it takes mu and runs the serialized
+	// session protocol.
+	nextEdge atomic.Uint64
 	// closing gates Ingest/TryIngest without taking mu.
 	closing atomic.Bool
+	// closeCh closes when Close begins, waking producers blocked on
+	// backpressure promptly instead of at their next poll.
+	closeCh chan struct{}
 
 	results        chan runtime.ResultBatch
 	events         chan runtime.Event
 	resultsDropped atomic.Int64
 	eventsDropped  atomic.Int64
 
-	// mu serializes the session's control state: the virtual clock, tick
-	// and fault cursors, and the live policy. Engine internals have their
-	// own synchronization; this lock makes the session protocol itself
-	// (clock advancement, tick decisions, swaps, close) sequential.
-	mu          sync.Mutex
-	pol         runtime.Policy
+	// mu serializes the session's control protocol: tick and fault
+	// cursors, control ops, stats snapshots, and close. Fast-path
+	// admission holds the read side, so control decisions still exclude
+	// all in-flight admissions (a tick's Drain settles a quiesced
+	// pipeline), while admissions exclude only each other's edges.
+	mu          sync.RWMutex
 	lastPlanKey string
-	now         float64
 	nextTick    float64
 	cursor      *chaos.Cursor
 	nextCkpt    float64
@@ -82,9 +97,15 @@ type Session struct {
 	downSeconds float64
 	migrations  int
 	downtime    float64
-	overhead    float64
 	swaps       int
 	closed      bool
+
+	// polMu serializes policy calls from concurrent fast-path producers
+	// (the Policy contract promises implementations a single caller) and
+	// guards the overhead accumulator.
+	polMu    sync.Mutex
+	pol      runtime.Policy
+	overhead float64
 
 	done   chan struct{}
 	report *runtime.Report
@@ -112,6 +133,7 @@ func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOpt
 		pol:        pol,
 		downSince:  make(map[int]float64),
 		nextCkpt:   math.Inf(1),
+		closeCh:    make(chan struct{}),
 		done:       make(chan struct{}),
 	}
 	if s.tick <= 0 {
@@ -125,20 +147,24 @@ func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOpt
 			s.nextCkpt = opts.Faults.SnapshotEvery()
 		}
 	}
+	s.recomputeEdgeLocked()
 	evBuf := opts.EventBuffer
 	if evBuf <= 0 {
 		evBuf = 64
 	}
 	s.events = make(chan runtime.Event, evBuf)
-	// The chooser runs synchronously inside Engine.Ingest, which the
-	// session only calls while holding mu — so it may read the session's
-	// policy and clock, and track plan switches, without further locking.
+	// The chooser runs synchronously inside Engine.Ingest, possibly from
+	// many producers at once; polMu serializes the policy call and the
+	// plan-switch tracking, honoring the Policy contract's serial-caller
+	// promise.
 	chooser := ChooserFunc(func(snap stats.Snapshot) query.Plan {
-		plan := s.pol.PlanFor(s.now, snap)
+		s.polMu.Lock()
+		defer s.polMu.Unlock()
+		plan := s.pol.PlanFor(s.now(), snap)
 		if plan != nil {
 			if k := plan.Key(); k != s.lastPlanKey {
 				if s.lastPlanKey != "" {
-					s.emit(runtime.Event{Kind: runtime.EventPlanSwitch, T: s.now, Node: -1, Op: -1, Plan: k})
+					s.emit(runtime.Event{Kind: runtime.EventPlanSwitch, T: s.now(), Node: -1, Op: -1, Plan: k})
 				}
 				s.lastPlanKey = k
 			}
@@ -150,6 +176,7 @@ func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOpt
 		return nil, err
 	}
 	s.e = e
+	e.SetTimeSource(s.now)
 	if opts.ResultBuffer > 0 {
 		s.results = make(chan runtime.ResultBatch, opts.ResultBuffer)
 		e.SetResultObserver(s.observeResult)
@@ -173,7 +200,7 @@ func (s *Session) observeResult(tuples []*stream.Joined, _ time.Time) {
 	cp := make([]*stream.Joined, len(tuples))
 	copy(cp, tuples)
 	rb := runtime.ResultBatch{
-		T:      math.Float64frombits(s.vnow.Load()),
+		T:      s.now(),
 		Count:  float64(len(cp)),
 		Tuples: cp,
 	}
@@ -184,9 +211,9 @@ func (s *Session) observeResult(tuples []*stream.Joined, _ time.Time) {
 	}
 }
 
-// emit delivers an event without blocking; callers hold mu (or run before
-// the session is visible), so emission is ordered and never races the
-// channel close in Close.
+// emit delivers an event without blocking. Callers hold mu (either side)
+// or polMu, and Close only closes the channel once every admission and
+// control path has drained, so emission never races the close.
 func (s *Session) emit(ev runtime.Event) {
 	select {
 	case s.events <- ev:
@@ -195,12 +222,39 @@ func (s *Session) emit(ev runtime.Event) {
 	}
 }
 
-// setNow advances the virtual clock (monotonically).
-func (s *Session) setNow(t float64) {
-	if t > s.now {
-		s.now = t
-		s.vnow.Store(math.Float64bits(t))
+// now reads the virtual clock.
+func (s *Session) now() float64 { return math.Float64frombits(s.vnow.Load()) }
+
+// advanceNow lifts the virtual clock to at least t — a lock-free CAS-max,
+// so concurrent producers with out-of-order timestamps never move it
+// backwards. (Non-negative float64 bit patterns order like the floats.)
+func (s *Session) advanceNow(t float64) {
+	bits := math.Float64bits(t)
+	for {
+		old := s.vnow.Load()
+		if old >= bits || s.vnow.CompareAndSwap(old, bits) {
+			return
+		}
 	}
+}
+
+// edge reads the cached next tick/checkpoint/fault edge.
+func (s *Session) edge() float64 { return math.Float64frombits(s.nextEdge.Load()) }
+
+// recomputeEdgeLocked refreshes the cached earliest edge after the control
+// path consumed one. Caller holds mu (write) — or runs before the session
+// is visible.
+func (s *Session) recomputeEdgeLocked() {
+	edge := s.nextTick
+	if s.nextCkpt < edge {
+		edge = s.nextCkpt
+	}
+	if s.cursor != nil {
+		if t, ok := s.cursor.Peek(); ok && t < edge {
+			edge = t
+		}
+	}
+	s.nextEdge.Store(math.Float64bits(edge))
 }
 
 // applyFaults fires checkpoints and scripted fault edges the clock has
@@ -253,23 +307,53 @@ func (s *Session) applyFaults(now float64) {
 	}
 }
 
-// ingest is the serialized admission path: advance the clock, fire due
-// faults, admit the batch, then run any due control ticks.
+// addOverhead accounts the policy's per-batch classification work.
+func (s *Session) addOverhead() {
+	s.polMu.Lock()
+	s.overhead += s.pol.ClassifyOverhead()
+	s.polMu.Unlock()
+}
+
+// ingest is the admission path. Batches that stay below the next
+// tick/fault/checkpoint edge take the fast path: advance the clock with a
+// CAS-max and run Engine.Ingest (safe for concurrent use) under the read
+// lock, in parallel with other producers. A batch that crosses an edge
+// takes the write lock and runs the serialized session protocol — fire due
+// faults, admit, run due control ticks — excluding all concurrent
+// admissions for exactly the span of the edge.
 func (s *Session) ingest(b *stream.Batch) error {
+	var ts float64
+	if n := b.Len(); n > 0 {
+		ts = float64(b.Tuples[n-1].Ts)
+	}
+	if ts < s.edge() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.closed {
+			return runtime.ErrClosed
+		}
+		s.advanceNow(ts)
+		err := s.e.Ingest(b)
+		if err == nil {
+			s.addOverhead()
+		}
+		return err
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return runtime.ErrClosed
 	}
-	if n := b.Len(); n > 0 {
-		s.setNow(float64(b.Tuples[n-1].Ts))
-	}
-	s.applyFaults(s.now)
+	s.advanceNow(ts)
+	now := s.now()
+	s.applyFaults(now)
+	defer s.recomputeEdgeLocked()
 	if err := s.e.Ingest(b); err != nil {
 		return err
 	}
-	s.overhead += s.pol.ClassifyOverhead()
-	if s.now >= s.nextTick {
+	s.addOverhead()
+	if now >= s.nextTick {
 		// Sample queue depths BEFORE draining: Drain empties every inbox,
 		// so a post-drain sample would always show zero load and
 		// imbalance-triggered policies (DYN) could never fire. One sample
@@ -277,10 +361,13 @@ func (s *Session) ingest(b *stream.Batch) error {
 		loads := s.e.NodeLoads()
 		// Settle in-flight work before the control decision: this bounds
 		// the skew between ingestion and processing to one tick of
-		// virtual time.
+		// virtual time. The write lock holds new admissions out, so the
+		// drain is of a quiescing pipeline and cannot be starved.
 		s.e.Drain()
-		for s.now >= s.nextTick {
+		for now >= s.nextTick {
+			s.polMu.Lock()
 			s.overhead += s.pol.DecisionOverhead()
+			s.polMu.Unlock()
 			assign := s.e.Assignment()
 			if mig := s.pol.Rebalance(s.nextTick, loads, assign); mig != nil {
 				// Same-node requests are no-ops and not counted, matching
@@ -306,9 +393,10 @@ func (s *Session) ready() bool {
 
 // Ingest implements runtime.Session: it blocks while the pipeline holds
 // MaxPending in-flight messages, until the context ends or the session
-// closes. The wait is a bounded 100µs poll by design: signalling waiters
-// from the sink would put synchronization on the workers' lock-free hot
-// path, and a blocked producer's wakeup is one atomic load.
+// closes. The wait is event-driven: workers signal every pending-count
+// decrement, so a blocked producer wakes as soon as capacity frees (and
+// Close or context cancellation wakes it immediately) instead of on a
+// poll tick.
 func (s *Session) Ingest(ctx context.Context, b *stream.Batch) error {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -320,10 +408,8 @@ func (s *Session) Ingest(ctx context.Context, b *stream.Batch) error {
 		if s.ready() {
 			return s.ingest(b)
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(100 * time.Microsecond):
+		if err := s.e.awaitPending(ctx, s.maxPending, s.closeCh); err != nil {
+			return err
 		}
 	}
 }
@@ -354,9 +440,11 @@ func (s *Session) SwapPolicy(pol runtime.Policy) error {
 	if s.closed {
 		return runtime.ErrClosed
 	}
+	s.polMu.Lock()
 	s.pol = pol
+	s.polMu.Unlock()
 	s.swaps++
-	s.emit(runtime.Event{Kind: runtime.EventPolicySwap, T: s.now, Node: -1, Op: -1, Policy: pol.Name()})
+	s.emit(runtime.Event{Kind: runtime.EventPolicySwap, T: s.now(), Node: -1, Op: -1, Policy: pol.Name()})
 	return nil
 }
 
@@ -376,7 +464,7 @@ func (s *Session) Migrate(op, node int) error {
 		return err
 	}
 	s.migrations++
-	s.emit(runtime.Event{Kind: runtime.EventMigration, T: s.now, Node: node, Op: op})
+	s.emit(runtime.Event{Kind: runtime.EventMigration, T: s.now(), Node: node, Op: op})
 	return nil
 }
 
@@ -392,8 +480,8 @@ func (s *Session) Crash(node int) error {
 		return err
 	}
 	if _, dn := s.downSince[node]; !dn {
-		s.downSince[node] = s.now
-		s.emit(runtime.Event{Kind: runtime.EventCrash, T: s.now, Node: node, Op: -1})
+		s.downSince[node] = s.now()
+		s.emit(runtime.Event{Kind: runtime.EventCrash, T: s.now(), Node: node, Op: -1})
 	}
 	return nil
 }
@@ -409,28 +497,36 @@ func (s *Session) Recover(node int) error {
 		return err
 	}
 	if since, dn := s.downSince[node]; dn {
-		s.downSeconds += s.now - since
+		s.downSeconds += s.now() - since
 		delete(s.downSince, node)
-		s.emit(runtime.Event{Kind: runtime.EventRecovery, T: s.now, Node: node, Op: -1})
+		s.emit(runtime.Event{Kind: runtime.EventRecovery, T: s.now(), Node: node, Op: -1})
 	}
 	return nil
 }
 
-// Stats implements runtime.Session.
+// Stats implements runtime.Session. The counter snapshot is taken under
+// the session's write lock, excluding all in-flight admissions, so the
+// admission-side fields (VirtualTime, Ingested, Batches, Migrations,
+// PolicySwaps) are mutually consistent; worker-side counters (Produced,
+// Pending, TuplesLost) may still trail by whatever the pipeline holds.
 func (s *Session) Stats() runtime.SessionStats {
-	c := s.e.Counters()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	c := s.e.Counters()
+	now := s.now()
 	ds := s.downSeconds
 	for _, since := range s.downSince {
-		if s.now > since {
-			ds += s.now - since
+		if now > since {
+			ds += now - since
 		}
 	}
+	s.polMu.Lock()
+	polName := s.pol.Name()
+	s.polMu.Unlock()
 	return runtime.SessionStats{
-		Policy:         s.pol.Name(),
+		Policy:         polName,
 		Substrate:      "engine",
-		VirtualTime:    s.now,
+		VirtualTime:    now,
 		Ingested:       float64(c.Ingested),
 		Produced:       float64(c.Produced),
 		TuplesLost:     float64(c.TuplesLost),
@@ -449,7 +545,8 @@ func (s *Session) Stats() runtime.SessionStats {
 
 // Close implements runtime.Session: fire the remaining scripted faults up
 // to the horizon, finalize downtime, drain in-flight work, stop the
-// engine, and return the final report. When ctx ends before the drain
+// engine, and return the final report. Producers blocked on backpressure
+// are woken immediately with ErrClosed. When ctx ends before the drain
 // completes, Close returns ctx.Err() and the shutdown finishes in the
 // background; later Close calls wait for it and return the stored report.
 func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
@@ -465,14 +562,15 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 	}
 	s.closed = true
 	s.closing.Store(true)
+	close(s.closeCh)
 	// The feed is over; fire the remaining fault events up to the horizon
 	// (the simulator fires them as discrete events regardless of
 	// arrivals). A node whose scripted recovery lies beyond the horizon
 	// stays down — Stop counts its parked backlog as lost; only its
 	// downtime is finalized here.
 	end := s.opts.Horizon
-	if end < s.now {
-		end = s.now
+	if n := s.now(); end < n {
+		end = n
 	}
 	s.applyFaults(end)
 	for _, since := range s.downSince {
@@ -485,6 +583,9 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 	finish := func() *runtime.Report {
 		res := s.e.Stop()
 		s.mu.Lock()
+		s.polMu.Lock()
+		overhead := s.overhead
+		s.polMu.Unlock()
 		rep := &runtime.Report{
 			Policy:            pol.Name(),
 			Substrate:         "engine",
@@ -496,7 +597,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 			PlanSwitches:      res.PlanSwitches,
 			Migrations:        s.migrations,
 			MigrationDowntime: s.downtime,
-			OverheadWork:      s.overhead,
+			OverheadWork:      overhead,
 			WallSeconds:       time.Since(s.start).Seconds(),
 			Crashes:           res.Crashes,
 			DownSeconds:       s.downSeconds,
@@ -514,14 +615,11 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 	}
 
 	// Context-aware drain: Stop would drain unconditionally, so wait here
-	// where the deadline can interrupt.
-	for s.e.Pending() != 0 {
-		select {
-		case <-ctx.Done():
-			go finish()
-			return nil, ctx.Err()
-		case <-time.After(200 * time.Microsecond):
-		}
+	// where the deadline can interrupt. Event-driven — the last sinking
+	// message wakes this immediately.
+	if err := s.e.awaitPending(ctx, 1, nil); err != nil {
+		go finish()
+		return nil, err
 	}
 	return finish(), nil
 }

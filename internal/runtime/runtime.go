@@ -43,7 +43,9 @@ type Migration struct {
 // Policy is a load-distribution strategy under test: it provides the initial
 // operator placement, chooses a logical plan per batch, and may request
 // operator migrations at control ticks. Implementations must be safe for
-// use from a single executor goroutine; executors serialize all calls.
+// use from a single executor goroutine; executors and sessions serialize
+// all calls (the live engine's session admits batches concurrently but
+// still funnels PlanFor/ClassifyOverhead through one policy lock).
 // Policies may be stateful (DYN tracks per-operator cooldowns and the live
 // assignment), so use a fresh instance per Execute call when comparing runs
 // — carried-over state would leak one run's clock and placement into the

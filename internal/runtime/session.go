@@ -149,15 +149,22 @@ type SessionStats struct {
 // with Ingest (blocking backpressure) or TryIngest (non-blocking);
 // results, runtime events, and statistics are observed while it runs; the
 // policy can be hot-swapped; and Close drains in-flight work and returns
-// the final Report. All methods are safe for concurrent use.
+// the final Report. All methods are safe for concurrent use, and
+// substrates admit from concurrent producers in parallel where they can
+// (the live engine serializes only its clock-edge protocol and control
+// operations; they still serialize all Policy calls, honoring the Policy
+// contract's single-caller promise).
 type Session interface {
 	// Substrate names the executing substrate ("sim", "engine").
 	Substrate() string
 	// Ingest admits one batch, blocking while the pipeline is at its
-	// in-flight capacity. It returns ctx.Err() if the context ends first,
-	// ErrClosed after Close, or a substrate error (e.g. every node down).
-	// Batch timestamps drive the session's virtual clock and must not
-	// decrease across calls.
+	// in-flight capacity; implementations wake blocked callers promptly
+	// on Close (ErrClosed) and context cancellation (ctx.Err()) rather
+	// than at a poll tick. It returns ctx.Err() if the context ends
+	// first, ErrClosed after Close, or a substrate error (e.g. every
+	// node down). Batch timestamps drive the session's virtual clock and
+	// must not decrease per producer; across concurrent producers the
+	// clock advances to the maximum timestamp observed.
 	Ingest(ctx context.Context, b *stream.Batch) error
 	// TryIngest admits one batch without blocking: ErrBackpressure when
 	// the pipeline is at capacity, otherwise as Ingest.

@@ -31,7 +31,10 @@ type SessionOptions struct {
 // Ingest/Results/Events/SwapPolicy/Close protocol, with batches abstracted
 // to their tuple counts and time advanced by batch timestamps instead of
 // the wall clock. There is no backpressure in virtual time, so Ingest
-// never blocks and TryIngest never rejects.
+// never blocks and TryIngest never rejects — the engine session's
+// event-driven backpressure wakeups have nothing to signal here, and the
+// adapter serializes all calls under one mutex (virtual time admits no
+// useful concurrency).
 type Session struct {
 	mu             sync.Mutex
 	s              *Sim

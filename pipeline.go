@@ -127,7 +127,9 @@ func WithBufferedEvents(n int) Option { return func(c *pipelineConfig) { c.event
 
 // WithMaxPending bounds in-flight messages: Ingest blocks and TryIngest
 // returns ErrBackpressure at the bound. n < 0 disables backpressure. The
-// default is InboxSize × nodes.
+// default is InboxSize × nodes. Admission is concurrent, so with several
+// producers the bound is approximate — each can admit one batch past it
+// before observing the others.
 func WithMaxPending(n int) Option {
 	return func(c *pipelineConfig) { c.maxPending = n; c.havePending = true }
 }
@@ -161,7 +163,11 @@ func WithClassifyBatch(n int) Option { return func(c *pipelineConfig) { c.batchS
 // variant), Results/Events are subscriptions, Stats can be polled live,
 // SwapPolicy hot-swaps the load-distribution strategy without restarting,
 // and Close drains then shuts down, honoring the context's deadline. All
-// methods are safe for concurrent use.
+// methods are safe for concurrent use; on the live engine, admission from
+// many producers runs in parallel — only virtual-clock edges (control
+// ticks, faults, checkpoints) and control operations serialize — so one
+// Pipeline's ingest throughput scales with producer count (see README
+// "Performance").
 type Pipeline struct {
 	s runtime.Session
 }
@@ -242,10 +248,13 @@ func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pi
 func (p *Pipeline) Substrate() string { return p.s.Substrate() }
 
 // Ingest admits one batch, blocking while the pipeline is at its in-flight
-// capacity; it returns ctx.Err() if the context ends first, ErrClosed
-// after Close, or a typed engine error (ErrNodeDown, …). Batch timestamps
-// drive the pipeline's virtual clock — control ticks and scripted faults
-// fire as it advances — and must not decrease across calls.
+// capacity; the wait is event-driven, and Close or context cancellation
+// wakes a blocked producer immediately. It returns ctx.Err() if the
+// context ends first, ErrClosed after Close, or a typed engine error
+// (ErrNodeDown, …). Batch timestamps drive the pipeline's virtual clock —
+// control ticks and scripted faults fire as it advances — and must not
+// decrease per producer; across concurrent producers the clock advances
+// to the maximum timestamp observed.
 func (p *Pipeline) Ingest(ctx context.Context, b *Batch) error { return p.s.Ingest(ctx, b) }
 
 // TryIngest admits one batch without blocking: ErrBackpressure at
