@@ -19,6 +19,7 @@ import (
 // benchExperiment drives one registered experiment in quick mode.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables, ok := RunExperiment(id, true)
 		if !ok || len(tables) == 0 {
@@ -95,6 +96,7 @@ func BenchmarkOptimizeCore(b *testing.B) {
 	}
 	cl := NewCluster(3, 80)
 	cfg := DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Optimize(q, dims, cl, cfg); err != nil {
@@ -108,6 +110,7 @@ func BenchmarkOptimizeCore(b *testing.B) {
 func BenchmarkClassifyCore(b *testing.B) {
 	dep := benchDeployment(b, 0.05)
 	snap := Snapshot{Sels: []float64{0.3, 0.35, 0.4, 0.45, 0.5}, Rates: map[string]float64{}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if p, _ := dep.Classify(snap); p == nil {
@@ -121,6 +124,7 @@ func BenchmarkClassifyCore(b *testing.B) {
 func BenchmarkBestPlanCore(b *testing.B) {
 	dep := benchDeployment(b, 0.2)
 	pnt := dep.Space.At(dep.Space.Center())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if p, _ := BestPlanAt(dep, pnt); p == nil {
@@ -150,6 +154,7 @@ func BenchmarkSimMinuteCore(b *testing.B) {
 		sc.Sels[i] = ConstProfile(dep.Query.Ops[i].Sel)
 	}
 	pol := dep.NewPolicy(20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scCopy := *sc
@@ -169,24 +174,24 @@ func BenchmarkEngineIngestCore(b *testing.B) {
 	}
 	e.Start()
 	defer e.Stop()
+	// Batches come from the pool and are refilled through the columnar
+	// AppendRow path — the zero-allocation producer idiom.
 	mkBatch := func(i int) *Batch {
-		batch := &Batch{Stream: q.Streams[i%2]}
+		batch := AcquireBatch(q.Streams[i%2], 1)
 		for j := 0; j < 50; j++ {
-			batch.Tuples = append(batch.Tuples, &Tuple{
-				Stream: batch.Stream,
-				Seq:    uint64(i*50 + j),
-				Ts:     Time(float64(i) * 0.1),
-				Key:    int64(j % 97),
-				Vals:   []float64{float64(j)},
-			})
+			row := batch.AppendRow(uint64(i*50+j), Time(float64(i)*0.1), int64(j%97), Time(float64(i)*0.1))
+			row[0] = float64(j)
 		}
 		return batch
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Ingest(mkBatch(i)); err != nil {
+		batch := mkBatch(i)
+		if err := e.Ingest(batch); err != nil {
 			b.Fatal(err)
 		}
+		batch.Release()
 	}
 	b.StopTimer()
 	e.Drain()
@@ -210,7 +215,7 @@ func benchPipelineIngest(b *testing.B, producers int) {
 	for p := range batches {
 		batch := &Batch{Stream: "S2"}
 		for j := 0; j < batchSize; j++ {
-			batch.Tuples = append(batch.Tuples, &Tuple{
+			batch.Append(&Tuple{
 				Stream: batch.Stream,
 				Seq:    uint64(p*batchSize + j),
 				Ts:     1, // constant virtual time: no tick edges, pure fast-path admission
@@ -274,6 +279,7 @@ func BenchmarkERPByUncertainty(b *testing.B) {
 			}
 			cl := NewCluster(3, 80)
 			cfg := DefaultConfig()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Optimize(q, dims, cl, cfg); err != nil {

@@ -4,18 +4,25 @@
 //	benchdiff -parse bench.txt -out BENCH_PR.json
 //
 // parses `go test -bench` text output into a JSON map of benchmark name →
-// best (minimum) ns/op across -count repetitions, and
+// {ns_per_op, allocs_per_op}, keeping the best (minimum) sample across
+// -count repetitions, and
 //
-//	benchdiff -old BENCH_BASELINE.json -new BENCH_PR.json -max-regress 0.25
+//	benchdiff -old BENCH_BASELINE.json -new BENCH_PR.json \
+//	    -max-regress 0.25 -max-alloc-regress 0.25
 //
 // compares two such files and exits non-zero if any benchmark present in
 // both regressed by more than the threshold. With -normalize NAME, every
-// value is first divided by that benchmark's value in its own file, so
-// the comparison is relative to a reference workload and cancels
+// ns/op value is first divided by that benchmark's value in its own file,
+// so the comparison is relative to a reference workload and cancels
 // machine-speed differences between the machine that produced the
-// committed baseline and the CI runner. Benchmarks present in only one
-// file are reported but never fail the gate (sub-benchmark names such as
-// workers=GOMAXPROCS legitimately vary across machines).
+// committed baseline and the CI runner. Allocations per op are
+// machine-independent, so they are compared raw (never normalized), with
+// a small absolute slack so benchmarks with tiny baselines don't fail on
+// ±1-alloc noise. Benchmarks present in only one file are reported but
+// never fail the gate (sub-benchmark names such as workers=GOMAXPROCS
+// legitimately vary across machines), and entries without alloc data
+// (benchmarks missing b.ReportAllocs, or baselines in the legacy flat
+// ns-only format) skip the alloc gate.
 package main
 
 import (
@@ -30,10 +37,20 @@ import (
 )
 
 // benchLine matches one `go test -bench` result line, e.g.
-// "BenchmarkChaosRecovery-8   3   17925008 ns/op   178525 tuples/s".
+// "BenchmarkChaosRecovery-8  3  17925008 ns/op  178525 tuples/s  1024 B/op  17 allocs/op".
 // The -8 GOMAXPROCS suffix is stripped so results compare across core
 // counts.
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// allocField matches the allocs/op field emitted under b.ReportAllocs.
+var allocField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+
+// result is one benchmark's recorded metrics. AllocsPerOp is nil when the
+// benchmark did not report allocations (or the file predates the field).
+type result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
 
 func main() {
 	parse := flag.String("parse", "", "bench output file to parse into JSON")
@@ -41,7 +58,9 @@ func main() {
 	oldPath := flag.String("old", "", "baseline JSON (comparison mode)")
 	newPath := flag.String("new", "", "candidate JSON (comparison mode)")
 	maxRegress := flag.Float64("max-regress", 0.25, "fail when ns/op grows by more than this fraction")
-	normalize := flag.String("normalize", "", "divide each file's values by this benchmark's value before comparing")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25, "fail when allocs/op grows by more than this fraction (plus -alloc-slack)")
+	allocSlack := flag.Float64("alloc-slack", 2, "absolute allocs/op growth always tolerated (noise floor for tiny baselines)")
+	normalize := flag.String("normalize", "", "divide each file's ns/op by this benchmark's value before comparing")
 	flag.Parse()
 
 	switch {
@@ -51,7 +70,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *oldPath != "" && *newPath != "":
-		ok, err := runCompare(*oldPath, *newPath, *maxRegress, *normalize)
+		ok, err := runCompare(*oldPath, *newPath, *maxRegress, *maxAllocRegress, *allocSlack, *normalize)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
@@ -66,17 +85,19 @@ func main() {
 }
 
 // runParse converts bench text to the JSON map, keeping the minimum ns/op
-// per benchmark across -count repetitions (the least-noisy sample).
+// per benchmark across -count repetitions (the least-noisy sample) and the
+// minimum allocs/op alongside it.
 func runParse(path, out string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	best := map[string]float64{}
+	best := map[string]*result{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -84,8 +105,22 @@ func runParse(path, out string) error {
 		if err != nil {
 			continue
 		}
-		if old, seen := best[m[1]]; !seen || ns < old {
-			best[m[1]] = ns
+		var allocs *float64
+		if am := allocField.FindStringSubmatch(line); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				allocs = &a
+			}
+		}
+		r, seen := best[m[1]]
+		if !seen {
+			best[m[1]] = &result{NsPerOp: ns, AllocsPerOp: allocs}
+			continue
+		}
+		if ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		if allocs != nil && (r.AllocsPerOp == nil || *allocs < *r.AllocsPerOp) {
+			r.AllocsPerOp = allocs
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -106,21 +141,31 @@ func runParse(path, out string) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-func load(path string) (map[string]float64, error) {
+// load reads a results file, accepting both the current nested format and
+// the legacy flat name → ns/op map (which carries no alloc data).
+func load(path string) (map[string]*result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var m map[string]float64
-	if err := json.Unmarshal(data, &m); err != nil {
+	var m map[string]*result
+	if err := json.Unmarshal(data, &m); err == nil {
+		return m, nil
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal(data, &flat); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m = make(map[string]*result, len(flat))
+	for k, v := range flat {
+		m[k] = &result{NsPerOp: v}
 	}
 	return m, nil
 }
 
 // runCompare prints a per-benchmark table and returns false when any
-// shared benchmark regressed past the threshold.
-func runCompare(oldPath, newPath string, maxRegress float64, normalize string) (bool, error) {
+// shared benchmark regressed past either threshold.
+func runCompare(oldPath, newPath string, maxRegress, maxAllocRegress, allocSlack float64, normalize string) (bool, error) {
 	oldVals, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -130,18 +175,19 @@ func runCompare(oldPath, newPath string, maxRegress float64, normalize string) (
 		return false, err
 	}
 	if normalize != "" {
-		ob, no := oldVals[normalize], newVals[normalize]
-		if ob <= 0 || no <= 0 {
+		or, nr := oldVals[normalize], newVals[normalize]
+		if or == nil || nr == nil || or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
 			// Raw ns/op across different machines is meaningless — the
 			// gate's correctness depends on the reference — so a missing
 			// reference is an error, not a degraded comparison.
 			return false, fmt.Errorf("-normalize %q missing from %s or %s", normalize, oldPath, newPath)
 		}
-		for k, v := range oldVals {
-			oldVals[k] = v / ob
+		ob, nb := or.NsPerOp, nr.NsPerOp
+		for _, v := range oldVals {
+			v.NsPerOp /= ob
 		}
-		for k, v := range newVals {
-			newVals[k] = v / no
+		for _, v := range newVals {
+			v.NsPerOp /= nb
 		}
 	}
 	names := make([]string, 0, len(oldVals))
@@ -151,12 +197,13 @@ func runCompare(oldPath, newPath string, maxRegress float64, normalize string) (
 	sort.Strings(names)
 	ok := true
 	for _, name := range names {
+		ov := oldVals[name]
 		nv, shared := newVals[name]
 		if !shared {
 			fmt.Printf("%-55s only in baseline (skipped)\n", name)
 			continue
 		}
-		ratio := nv / oldVals[name]
+		ratio := nv.NsPerOp / ov.NsPerOp
 		verdict := "ok"
 		if name == normalize {
 			verdict = "reference"
@@ -164,7 +211,16 @@ func runCompare(oldPath, newPath string, maxRegress float64, normalize string) (
 			verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", 100*maxRegress)
 			ok = false
 		}
-		fmt.Printf("%-55s %+7.1f%%  %s\n", name, 100*(ratio-1), verdict)
+		allocNote := "allocs n/a"
+		if name != normalize && ov.AllocsPerOp != nil && nv.AllocsPerOp != nil {
+			oa, na := *ov.AllocsPerOp, *nv.AllocsPerOp
+			allocNote = fmt.Sprintf("allocs %.0f -> %.0f", oa, na)
+			if na > oa*(1+maxAllocRegress)+allocSlack {
+				verdict = fmt.Sprintf("ALLOC REGRESSION (> %+.0f%%)", 100*maxAllocRegress)
+				ok = false
+			}
+		}
+		fmt.Printf("%-55s %+7.1f%%  %-22s %s\n", name, 100*(ratio-1), allocNote, verdict)
 	}
 	for name := range newVals {
 		if _, shared := oldVals[name]; !shared {
@@ -172,7 +228,7 @@ func runCompare(oldPath, newPath string, maxRegress float64, normalize string) (
 		}
 	}
 	if !ok {
-		fmt.Printf("\nbenchmark gate FAILED: ns/op regressed more than %.0f%% vs %s\n", 100*maxRegress, oldPath)
+		fmt.Printf("\nbenchmark gate FAILED: regressed more than allowed vs %s\n", oldPath)
 	}
 	return ok, nil
 }

@@ -5,12 +5,19 @@
 //	rldbench                  # everything (a few minutes)
 //	rldbench -quick fig15a    # quick smoke of one experiment
 //	rldbench fig10 fig12      # specific figures
+//	rldbench -cpuprofile cpu.pb -memprofile mem.pb fig15a
+//
+// The profile flags write pprof data covering the selected experiments
+// (`go tool pprof` reads the output), for chasing hot spots without
+// wiring the workload into a Go benchmark first.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rld"
@@ -19,6 +26,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink parameters for a fast smoke run")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -26,6 +35,20 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rldbench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rldbench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ids := flag.Args()
@@ -41,5 +64,19 @@ func main() {
 		}
 		fmt.Println(rld.FormatTables(tables))
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rldbench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC() // settle to live objects so the profile shows retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rldbench:", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -28,7 +28,7 @@ func exampleBatch(streamName string, n int, t float64) *rld.Batch {
 	b := &rld.Batch{Stream: streamName}
 	for j := 0; j < n; j++ {
 		ts := rld.Time(t + float64(j)*0.01)
-		b.Tuples = append(b.Tuples, &rld.Tuple{
+		b.Append(&rld.Tuple{
 			Stream: streamName, Seq: uint64(j), Ts: ts,
 			Key: int64(j % 32), Vals: []float64{float64(j % 100)}, Arrival: ts,
 		})

@@ -72,7 +72,7 @@ func main() {
 		b := &rld.Batch{Stream: s}
 		for j := 0; j < 10; j++ {
 			ts := rld.Time(float64(i) + float64(j)*0.05)
-			b.Tuples = append(b.Tuples, &rld.Tuple{Stream: s, Ts: ts, Key: int64(j), Vals: []float64{50}, Arrival: ts})
+			b.Append(&rld.Tuple{Stream: s, Ts: ts, Key: int64(j), Vals: []float64{50}, Arrival: ts})
 		}
 		if err := pipe.Ingest(ctx, b); err != nil {
 			log.Fatal(err)

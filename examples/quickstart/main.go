@@ -76,7 +76,7 @@ func main() {
 		shift := float64((i / 75) % 3 * 25) // regime drift: 0, +25, +50
 		for j := 0; j < 25; j++ {
 			ts += 0.01
-			b.Tuples = append(b.Tuples, &rld.Tuple{
+			b.Append(&rld.Tuple{
 				Stream: stream, Seq: uint64(j), Ts: rld.Time(ts),
 				Key:     rng.Int63n(256),
 				Vals:    []float64{rng.Float64()*100 - shift},

@@ -83,7 +83,7 @@ func main() {
 					v = rng.Float64()*100 + 20 // bear: ≈0.20 pass rate
 				}
 			}
-			b.Tuples = append(b.Tuples, &rld.Tuple{
+			b.Append(&rld.Tuple{
 				Stream:  streamName,
 				Seq:     seq[streamName],
 				Ts:      rld.Time(ts),

@@ -153,7 +153,7 @@ func TestIntegrationEngineMatchesSimSelectivity(t *testing.T) {
 			batch := &Batch{Stream: s}
 			for j := 0; j < 40; j++ {
 				ts += 0.001
-				batch.Tuples = append(batch.Tuples, &Tuple{
+				batch.Append(&Tuple{
 					Stream: s, Ts: Time(ts), Key: rng.Int63n(300),
 					Vals: []float64{rng.Float64() * 100},
 				})

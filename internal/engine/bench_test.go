@@ -24,19 +24,17 @@ func buildBenchBatches(q *query.Query, probeBatches, batchSize int) (warm, probe
 	}
 	s2 := mkSource("S2", 7)
 	for i := 0; i < 40; i++ {
-		b := stream.NewBatch("S2")
+		b := stream.NewSizedBatch("S2", s2.Arity(), batchSize)
 		for j := 0; j < batchSize; j++ {
-			t, _ := s2.Next()
-			b.Append(t)
+			s2.AppendNext(b)
 		}
 		warm = append(warm, b)
 	}
 	s1 := mkSource("S1", 11)
 	for i := 0; i < probeBatches; i++ {
-		b := stream.NewBatch("S1")
+		b := stream.NewSizedBatch("S1", s1.Arity(), batchSize)
 		for j := 0; j < batchSize; j++ {
-			t, _ := s1.Next()
-			b.Append(t)
+			s1.AppendNext(b)
 		}
 		probes = append(probes, b)
 	}
@@ -123,6 +121,7 @@ var calibrationSink uint64
 // committed baseline and the CI runner, while every *real* benchmark
 // stays inside the regression gate.
 func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		x := uint64(88172645463325252)
 		for j := 0; j < 1<<22; j++ {

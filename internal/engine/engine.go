@@ -124,14 +124,61 @@ func putPooled[T any](p *sync.Pool, s *[]T) {
 
 func putPartials(s []*stream.Joined) { putPooled(&partialsPool, &s) }
 
-// matchPool recycles the scratch buffers that copy window probe results out
-// of the shard critical section.
-var matchPool = sync.Pool{New: func() any {
-	s := make([]*stream.Tuple, 0, 64)
-	return &s
-}}
+// shardScratch is the pooled per-batch workspace for the vectorized shard
+// paths: counting-sort arrays that group rows (inserts) or partials (probes)
+// by destination shard, per-probe match ranges, and the columnar Matches
+// buffer probe results are copied into under the shard lock. Everything is
+// index- or scalar-typed, so recycling needs no pointer clearing.
+type shardScratch struct {
+	shardOf []int32 // item → destination shard
+	starts  []int32 // shard → group start in order (len nShards+1)
+	cnt     []int32 // counting-sort cursors
+	order   []int32 // item indices grouped by shard
+	probe   []int32 // join stage: indices of partials that probe
+	mstart  []int32 // per probe: match range start in matches
+	mcount  []int32 // per probe: match count
+	matches stream.Matches
+}
 
-func putMatches(s *[]*stream.Tuple) { putPooled(&matchPool, s) }
+var scratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+func getScratch() *shardScratch   { return scratchPool.Get().(*shardScratch) }
+func putScratch(sc *shardScratch) { scratchPool.Put(sc) }
+
+// grow32 returns s resized to length n (reallocating only to grow capacity).
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// group counting-sorts items 0..n-1 into per-shard runs using the shard
+// assignments the caller wrote to sc.shardOf[:n]. Afterwards
+// sc.order[sc.starts[s]:sc.starts[s+1]] lists shard s's items in input order.
+func (sc *shardScratch) group(n, nShards int) {
+	sc.cnt = grow32(sc.cnt, nShards)
+	for i := range sc.cnt {
+		sc.cnt[i] = 0
+	}
+	for _, sh := range sc.shardOf[:n] {
+		sc.cnt[sh]++
+	}
+	sc.starts = grow32(sc.starts, nShards+1)
+	off := int32(0)
+	for i := 0; i < nShards; i++ {
+		sc.starts[i] = off
+		off += sc.cnt[i]
+		sc.cnt[i] = sc.starts[i]
+	}
+	sc.starts[nShards] = off
+	sc.order = grow32(sc.order, n)
+	for i := 0; i < n; i++ {
+		sh := sc.shardOf[i]
+		sc.order[sc.cnt[sh]] = int32(i)
+		sc.cnt[sh]++
+	}
+}
 
 // opShard is one hash partition of a join operator's window state, guarded
 // by its own lock so concurrent inserts and probes on different keys don't
@@ -144,8 +191,10 @@ type opShard struct {
 // opState is the runtime state of one operator: the sharded window plus
 // lock-free observed-selectivity counters.
 type opState struct {
-	op     query.Operator
-	span   float64
+	op   query.Operator
+	span float64
+	// slot is the operator's stream slot in the engine's JoinSchema.
+	slot   int
 	shards []*opShard
 	// maxTs is the operator-wide high-water application timestamp
 	// (float64 bits): probes expire their shard against it, so a shard
@@ -172,42 +221,41 @@ func (s *opState) advanceTs(ts float64) {
 	}
 }
 
-// shardFor picks the shard owning a join key.
-func (s *opState) shardFor(key int64) *opShard {
-	return s.shards[int(uint64(key)&uint64(len(s.shards)-1))]
-}
-
-// insert adds t to the owning shard's window and maintains the total count.
-func (s *opState) insert(t *stream.Tuple) {
-	s.advanceTs(float64(t.Ts))
-	sh := s.shardFor(t.Key)
-	sh.mu.Lock()
-	before := sh.window.Len()
-	sh.window.Insert(t)
-	after := sh.window.Len()
-	sh.mu.Unlock()
-	s.winLen.Add(int64(after - before))
-}
-
-// probe copies the tuples matching key into buf (reused scratch) and returns
-// it; the copy happens under the shard lock because concurrent inserts may
-// grow the underlying slices. The shard is first expired against the
-// operator-wide high-water timestamp: per-shard windows only see their own
-// inserts, so without this a cold shard would answer probes with tuples far
-// older than the window span.
-func (s *opState) probe(key int64, buf []*stream.Tuple) []*stream.Tuple {
-	cutoff := stream.Time(math.Float64frombits(s.maxTs.Load()) - s.span)
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	before := sh.window.Len()
-	sh.window.ExpireBefore(cutoff)
-	after := sh.window.Len()
-	buf = append(buf[:0], sh.window.Probe(key)...)
-	sh.mu.Unlock()
-	if after != before {
-		s.winLen.Add(int64(after - before))
+// insertBatch bulk-inserts a whole batch into the operator's sharded window:
+// rows are grouped by destination shard (counting sort over the key column),
+// and each shard's lock is taken once for its whole run instead of once per
+// tuple. Deferring each shard's expiration to its run's max timestamp
+// retains exactly the set per-tuple insertion would (expiration is a prefix
+// scan, so intermediate cutoffs only evict what the final one evicts).
+func (s *opState) insertBatch(b *stream.Batch, sc *shardScratch) {
+	n := b.Len()
+	if n == 0 {
+		return
 	}
-	return buf
+	s.advanceTs(float64(b.MaxTs()))
+	nShards := len(s.shards)
+	mask := uint64(nShards - 1)
+	sc.shardOf = grow32(sc.shardOf, n)
+	for i := 0; i < n; i++ {
+		sc.shardOf[i] = int32(uint64(b.Key[i]) & mask)
+	}
+	sc.group(n, nShards)
+	var delta int64
+	for si := 0; si < nShards; si++ {
+		lo, hi := sc.starts[si], sc.starts[si+1]
+		if lo == hi {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		before := sh.window.Len()
+		sh.window.InsertRows(b, sc.order[lo:hi])
+		delta += int64(sh.window.Len() - before)
+		sh.mu.Unlock()
+	}
+	if delta != 0 {
+		s.winLen.Add(delta)
+	}
 }
 
 // observedSel returns the operator's observed selectivity (estimate until
@@ -346,6 +394,10 @@ type Engine struct {
 	nodes []*nodeState
 	ops   []*opState
 
+	// schema maps stream names to Joined part slots for this query; it
+	// also owns the pool join results are recycled through.
+	schema *stream.JoinSchema
+
 	pending     atomic.Int64   // in-flight messages, for Drain/backpressure
 	nodeQueued  []atomic.Int64 // per-node queued+in-service messages
 	produced    atomic.Int64
@@ -359,6 +411,13 @@ type Engine struct {
 	// resultObs, when set, taps every non-empty sink emission (sessions
 	// subscribe result streams through it).
 	resultObs atomic.Pointer[resultObserver]
+
+	// snapCache is the monitor snapshot handed to the per-batch plan
+	// chooser. Monitor state changes only on Offer, so refreshing the
+	// cache after every Offer is exactly equivalent to (and far cheaper
+	// than) cloning a snapshot per Ingest. Choosers must treat it as
+	// read-only.
+	snapCache atomic.Pointer[stats.Snapshot]
 
 	// timeSource, when set, supplies monitor-offer timestamps (sessions
 	// install their virtual clock so the stats timeline matches the
@@ -375,9 +434,9 @@ type Engine struct {
 	waiters atomic.Int32
 
 	// snapMu guards snaps, the latest Checkpoint()'s per-op window
-	// contents (nil until the first checkpoint).
+	// contents as columnar batches (nil until the first checkpoint).
 	snapMu sync.Mutex
-	snaps  [][]*stream.Tuple
+	snaps  []*stream.Batch
 
 	// sendMu fences Ingest against Stop: Ingest holds the read side for
 	// its whole body, and Stop takes the write side after setting the
@@ -398,6 +457,44 @@ type Engine struct {
 	rateCount map[string]float64
 	started   bool
 	stopped   bool
+	// plans interns each distinct plan the chooser has returned: the
+	// canonical clone plus its precomputed key, so recurring plans skip
+	// the per-batch Clone/Valid/Key allocations. Bounded by maxInterned.
+	plans []internedPlan
+}
+
+// internedPlan is one cached, validated plan and its routing key.
+type internedPlan struct {
+	plan query.Plan
+	key  string
+}
+
+// maxInterned caps the plan cache; a chooser cycling through more distinct
+// plans than this falls back to the uncached path.
+const maxInterned = 1024
+
+// internPlan returns the canonical copy and key of plan, validating and
+// caching it on first sight. ok is false for an invalid plan.
+func (e *Engine) internPlan(plan query.Plan) (internedPlan, bool) {
+	e.mu.Lock()
+	for i := range e.plans {
+		if e.plans[i].plan.Equal(plan) {
+			ip := e.plans[i]
+			e.mu.Unlock()
+			return ip, true
+		}
+	}
+	e.mu.Unlock()
+	if plan == nil || !plan.Valid(e.q) {
+		return internedPlan{}, false
+	}
+	ip := internedPlan{plan: plan.Clone(), key: plan.Key()}
+	e.mu.Lock()
+	if len(e.plans) < maxInterned {
+		e.plans = append(e.plans, ip)
+	}
+	e.mu.Unlock()
+	return ip, true
 }
 
 // New builds an engine for query q with operator placement assign over
@@ -442,10 +539,14 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		stopDone:   make(chan struct{}),
 		waitCh:     make(chan struct{}),
 	}
+	if len(q.Streams) > 64 {
+		return nil, fmt.Errorf("%w: %d streams exceed the 64-stream join schema", ErrBadPlacement, len(q.Streams))
+	}
+	e.schema = stream.NewJoinSchema(q.Streams)
 	a := assign.Clone()
 	e.assign.Store(&a)
 	for i := range q.Ops {
-		st := &opState{op: q.Ops[i], span: q.WindowSeconds}
+		st := &opState{op: q.Ops[i], span: q.WindowSeconds, slot: e.schema.Slot(q.Ops[i].Stream)}
 		for s := 0; s < cfg.Shards; s++ {
 			st.shards = append(st.shards, &opShard{window: stream.NewWindow(q.WindowSeconds)})
 		}
@@ -461,7 +562,15 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		ns.active.Store(int32(cfg.Workers))
 		e.nodes = append(e.nodes, ns)
 	}
+	e.refreshSnap()
 	return e, nil
+}
+
+// refreshSnap re-clones the monitor state into the chooser snapshot cache;
+// called after every monitor Offer (the only mutation point).
+func (e *Engine) refreshSnap() {
+	snap := e.monitor.Snapshot()
+	e.snapCache.Store(&snap)
 }
 
 // Start launches the per-node worker pools.
@@ -621,6 +730,9 @@ func (e *Engine) send(msg *message) {
 // accounting its in-flight partial results as lost tuples.
 func (e *Engine) lose(msg *message) {
 	e.lost.Add(int64(len(msg.partials)))
+	for _, p := range msg.partials {
+		p.Release()
+	}
 	putPartials(msg.partials)
 	*msg = message{}
 	msgPool.Put(msg)
@@ -638,17 +750,19 @@ func (e *Engine) process(msg *message) {
 		// Filter in place: the write index never passes the read index.
 		out = msg.partials[:0]
 		for _, p := range msg.partials {
-			t := p.Parts[st.op.Stream]
-			if t == nil || len(t.Vals) == 0 {
+			v, ok := p.Val(st.slot, 0)
+			if !ok {
 				// Pass-through: the predicate applies to another
 				// stream's tuples.
 				out = append(out, p)
 				continue
 			}
 			ownIn++
-			if t.Vals[0] < threshold {
+			if v < threshold {
 				out = append(out, p)
 				ownOut++
+			} else {
+				p.Release()
 			}
 		}
 		// Selections report the pass fraction over their own stream's
@@ -658,28 +772,82 @@ func (e *Engine) process(msg *message) {
 		st.out.Add(int64(ownOut))
 	case query.Join:
 		out = getPartials()
-		scratch := matchPool.Get().(*[]*stream.Tuple)
-		var pairs, hits int64
-		for _, p := range msg.partials {
-			if own := p.Parts[st.op.Stream]; own != nil {
+		sc := getScratch()
+		// Split the batch: partials already carrying this operator's
+		// stream pass through; the rest probe its window.
+		sc.probe = sc.probe[:0]
+		for i := range msg.partials {
+			if msg.partials[i].Has(st.slot) {
 				// Probing the operator of the batch's own stream:
 				// trivially satisfied.
-				out = append(out, p)
+				out = append(out, msg.partials[i])
 				continue
 			}
-			matches := st.probe(anyKey(p), *scratch)
-			*scratch = matches
-			pairs += st.winLen.Load()
-			hits += int64(len(matches))
-			n := len(matches)
-			if e.cfg.MaxFanout > 0 && n > e.cfg.MaxFanout {
-				n = e.cfg.MaxFanout
+			sc.probe = append(sc.probe, int32(i))
+		}
+		var pairs, hits int64
+		if np := len(sc.probe); np > 0 {
+			// Vectorized probe: hash the whole key set up front, group
+			// probes by destination shard, and take each shard lock once
+			// per batch — expiring the shard against the operator-wide
+			// high-water timestamp, then copying every probe's matches
+			// into the columnar scratch. (Per-shard windows only see
+			// their own inserts, so without the expire a cold shard
+			// would answer probes with tuples far older than the span.)
+			nShards := len(st.shards)
+			mask := uint64(nShards - 1)
+			sc.shardOf = grow32(sc.shardOf, np)
+			for k, pi := range sc.probe {
+				sc.shardOf[k] = int32(uint64(msg.partials[pi].Key()) & mask)
 			}
-			for _, m := range matches[:n] {
-				out = append(out, p.Extend(m))
+			sc.group(np, nShards)
+			sc.matches.Reset()
+			sc.mstart = grow32(sc.mstart, np)
+			sc.mcount = grow32(sc.mcount, np)
+			cutoff := stream.Time(math.Float64frombits(st.maxTs.Load()) - st.span)
+			var delta int64
+			for si := 0; si < nShards; si++ {
+				lo, hi := sc.starts[si], sc.starts[si+1]
+				if lo == hi {
+					continue
+				}
+				sh := st.shards[si]
+				sh.mu.Lock()
+				before := sh.window.Len()
+				sh.window.ExpireBefore(cutoff)
+				delta += int64(sh.window.Len() - before)
+				for oi := lo; oi < hi; oi++ {
+					k := sc.order[oi]
+					ms := sc.matches.Len()
+					sh.window.AppendMatches(msg.partials[sc.probe[k]].Key(), &sc.matches)
+					sc.mstart[k] = int32(ms)
+					sc.mcount[k] = int32(sc.matches.Len() - ms)
+				}
+				sh.mu.Unlock()
+			}
+			if delta != 0 {
+				st.winLen.Add(delta)
+			}
+			// Build extensions outside every lock, in the partials'
+			// original order; consumed partials are recycled.
+			winTotal := st.winLen.Load()
+			for k, pi := range sc.probe {
+				p := msg.partials[pi]
+				pairs += winTotal
+				n := int(sc.mcount[k])
+				hits += int64(n)
+				if e.cfg.MaxFanout > 0 && n > e.cfg.MaxFanout {
+					n = e.cfg.MaxFanout
+				}
+				base := int(sc.mstart[k])
+				key := p.Key()
+				for mi := base; mi < base+n; mi++ {
+					out = append(out, p.CloneWith(st.slot, sc.matches.Seq[mi], sc.matches.Ts[mi], key, sc.matches.Arr[mi], sc.matches.ValsAt(mi)))
+				}
+				p.Release()
 			}
 		}
-		putMatches(scratch)
+		putScratch(sc)
 		// Joins report the per-pair match probability (hits over pairs
 		// examined) rather than raw fanout, so observed selectivities
 		// stay in [0,1] and remain comparable with the optimizer's
@@ -699,20 +867,18 @@ func (e *Engine) process(msg *message) {
 	e.send(msg)
 }
 
-// anyKey returns the join key shared by a partial result's tuples.
-func anyKey(p *stream.Joined) int64 {
-	for _, t := range p.Parts {
-		return t.Key
-	}
-	return 0
-}
-
 func (e *Engine) sink(msg *message) {
 	e.produced.Add(int64(len(msg.partials)))
 	e.latencyNano.Add(int64(time.Since(msg.ingress)))
-	if len(msg.partials) > 0 {
-		if obs := e.resultObs.Load(); obs != nil {
+	if obs := e.resultObs.Load(); obs != nil {
+		if len(msg.partials) > 0 {
+			// Ownership of the result tuples transfers to the observer's
+			// consumer; they are never recycled.
 			(*obs)(msg.partials, msg.ingress)
+		}
+	} else {
+		for _, p := range msg.partials {
+			p.Release()
 		}
 	}
 	putPartials(msg.partials)
@@ -761,20 +927,21 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 	// Classify and validate BEFORE mutating any state: a failed Ingest
 	// must leave no trace (no counters, no window inserts, no stats
 	// offers), so callers can safely retry the same batch. The snapshot
-	// therefore reflects offers up to the previous batch — offers are
+	// cache reflects offers up to the previous batch — offers are
 	// rate-limited to every statsEvery-th batch anyway.
-	snap := e.monitor.Snapshot()
-	plan := e.chooser.Choose(snap)
-	if plan == nil || !plan.Valid(e.q) {
+	plan := e.chooser.Choose(*e.snapCache.Load())
+	ip, ok := e.internPlan(plan)
+	if !ok {
 		return fmt.Errorf("%w: chooser returned %v", ErrInvalidPlan, plan)
 	}
 	e.offerStats(false)
 
-	k := plan.Key()
+	k := ip.key
+	n := b.Len()
 	e.mu.Lock()
-	e.ingested += int64(len(b.Tuples))
+	e.ingested += int64(n)
 	e.batches++
-	e.rateCount[b.Stream] += float64(len(b.Tuples))
+	e.rateCount[b.Stream] += float64(n)
 	e.planUse[k]++
 	if k != e.lastKey {
 		if e.lastKey != "" {
@@ -784,24 +951,32 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 	}
 	e.mu.Unlock()
 
-	// Insert into the windows of join ops over this stream.
+	// Bulk-insert into the windows of join ops over this stream, one shard
+	// lock per shard per batch.
+	sc := getScratch()
 	for _, st := range e.ops {
 		if st.op.Kind == query.Join && st.op.Stream == b.Stream {
-			for _, t := range b.Tuples {
-				st.insert(t)
-			}
+			st.insertBatch(b, sc)
 		}
 	}
+	putScratch(sc)
 
+	// Seed one pooled singleton partial per tuple; the columns are copied,
+	// so the caller may reuse or Release b once Ingest returns.
+	slot := e.schema.Slot(b.Stream)
 	partials := getPartials()
-	for _, t := range b.Tuples {
-		partials = append(partials, stream.NewJoined(t))
+	for i := 0; i < n; i++ {
+		j := e.schema.Acquire()
+		j.SetPart(slot, b.Seq[i], b.Ts[i], b.Key[i], b.Arr[i], b.ValsAt(i))
+		partials = append(partials, j)
 	}
 	msg := msgPool.Get().(*message)
 	*msg = message{
 		partials: partials,
-		plan:     plan.Clone(),
-		ingress:  time.Now(),
+		// The interned canonical plan is shared across messages; the
+		// engine never mutates msg.plan.
+		plan:    ip.plan,
+		ingress: time.Now(),
 	}
 	e.send(msg)
 	return nil
@@ -833,6 +1008,7 @@ func (e *Engine) offerStats(force bool) {
 		now = (*fn)()
 	}
 	e.monitor.Offer(now, sels, rates)
+	e.refreshSnap()
 }
 
 // SetTimeSource installs (or, with nil, removes) the clock used to stamp
@@ -1095,18 +1271,18 @@ func (e *Engine) activeWorkers(factor float64) int32 {
 // latest snapshot is what Checkpoint-mode recovery restores. The executor
 // calls it on a periodic virtual-time cadence (FaultPlan.SnapshotEvery).
 func (e *Engine) Checkpoint() {
-	snaps := make([][]*stream.Tuple, len(e.ops))
+	snaps := make([]*stream.Batch, len(e.ops))
 	for i, st := range e.ops {
 		if st.op.Kind != query.Join {
 			continue
 		}
-		var buf []*stream.Tuple
+		b := stream.NewBatch(st.op.Stream)
 		for _, sh := range st.shards {
 			sh.mu.Lock()
-			buf = append(buf, sh.window.All()...)
+			sh.window.Snapshot(b)
 			sh.mu.Unlock()
 		}
-		snaps[i] = buf
+		snaps[i] = b
 	}
 	e.snapMu.Lock()
 	e.snaps = snaps
@@ -1120,7 +1296,7 @@ func (e *Engine) clearOp(op int) {
 	for _, sh := range st.shards {
 		sh.mu.Lock()
 		total += sh.window.Len()
-		sh.window = stream.NewWindow(st.span)
+		sh.window.Reset()
 		sh.mu.Unlock()
 	}
 	st.winLen.Add(int64(-total))
@@ -1133,15 +1309,16 @@ func (e *Engine) clearOp(op int) {
 func (e *Engine) restoreOp(op int) bool {
 	e.snapMu.Lock()
 	taken := e.snaps != nil
-	var snap []*stream.Tuple
+	var snap *stream.Batch
 	if taken {
 		snap = e.snaps[op]
 	}
 	e.snapMu.Unlock()
 	e.clearOp(op)
-	st := e.ops[op]
-	for _, t := range snap {
-		st.insert(t)
+	if snap != nil {
+		sc := getScratch()
+		e.ops[op].insertBatch(snap, sc)
+		putScratch(sc)
 	}
 	return taken
 }

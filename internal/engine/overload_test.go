@@ -41,7 +41,7 @@ func TestOverloadBoundedGoroutinesAndStageOrder(t *testing.T) {
 		// Each emission is one probe batch completing the pipeline; all
 		// its result tuples share the probe's S1 tuple.
 		for _, j := range tuples {
-			if t1 := j.Parts["S1"]; t1 != nil {
+			if t1, ok := j.PartByStream("S1"); ok {
 				mu.Lock()
 				got = append(got, t1.Seq)
 				mu.Unlock()

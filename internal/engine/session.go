@@ -322,10 +322,7 @@ func (s *Session) addOverhead() {
 // faults, admit, run due control ticks — excluding all concurrent
 // admissions for exactly the span of the edge.
 func (s *Session) ingest(b *stream.Batch) error {
-	var ts float64
-	if n := b.Len(); n > 0 {
-		ts = float64(b.Tuples[n-1].Ts)
-	}
+	ts := float64(b.LastTs())
 	if ts < s.edge() {
 		s.mu.RLock()
 		defer s.mu.RUnlock()

@@ -111,14 +111,24 @@ func NewSource(name string, rate Profile, keys KeyDist, values Dist, seed int64)
 	return &Source{Name: name, Rate: rate, Keys: keys, Values: values, rng: rand.New(rand.NewSource(seed)), open: true}
 }
 
-// Next returns the next tuple and its application timestamp. The arrival
-// process is a time-varying Poisson process realized by inverting
-// exponential gaps against the instantaneous rate (thinning-free because our
-// profiles are piecewise constant at the gap scale). Returns false when the
-// rate is zero or negative forever after.
-func (s *Source) Next() (*stream.Tuple, bool) {
+// Arity returns the payload width of this source's tuples.
+func (s *Source) Arity() int {
+	if s.Width > 0 {
+		return s.Width
+	}
+	if s.Values != nil {
+		return 1
+	}
+	return 0
+}
+
+// step advances the arrival process one tuple: an exponential gap at the
+// current instantaneous rate, then a key draw. It returns the new tuple's
+// attributes without materializing it (payload sampling is left to the
+// caller so the RNG draw order matches Next exactly).
+func (s *Source) step() (seq uint64, ts float64, key int64, ok bool) {
 	if !s.open || s.rng == nil {
-		return nil, false
+		return 0, 0, 0, false
 	}
 	// Advance time by an exponential gap at the current instantaneous rate,
 	// re-evaluating across profile changes with a small step cap so step and
@@ -143,29 +153,58 @@ func (s *Source) Next() (*stream.Tuple, bool) {
 			continue
 		}
 		s.now += gap
-		t := &stream.Tuple{
-			Stream:  s.Name,
-			Seq:     s.seq,
-			Ts:      stream.Time(s.now),
-			Key:     s.Keys.Draw(s.rng, s.now),
-			Arrival: stream.Time(s.now),
-		}
-		width := s.Width
-		if width <= 0 && s.Values != nil {
-			width = 1
-		}
-		if width > 0 {
-			t.Vals = make([]float64, width)
-			for j := range t.Vals {
-				if s.Values != nil {
-					t.Vals[j] = s.Values.Sample(s.rng)
-				}
-			}
-		}
+		seq, ts, key = s.seq, s.now, s.Keys.Draw(s.rng, s.now)
 		s.seq++
-		return t, true
+		return seq, ts, key, true
 	}
-	return nil, false
+	return 0, 0, 0, false
+}
+
+// fillVals samples the payload into row (the post-key RNG draws).
+func (s *Source) fillVals(row []float64) {
+	if s.Values == nil {
+		return
+	}
+	for j := range row {
+		row[j] = s.Values.Sample(s.rng)
+	}
+}
+
+// Next returns the next tuple and its application timestamp. The arrival
+// process is a time-varying Poisson process realized by inverting
+// exponential gaps against the instantaneous rate (thinning-free because our
+// profiles are piecewise constant at the gap scale). Returns false when the
+// rate is zero or negative forever after.
+func (s *Source) Next() (*stream.Tuple, bool) {
+	seq, ts, key, ok := s.step()
+	if !ok {
+		return nil, false
+	}
+	t := &stream.Tuple{
+		Stream:  s.Name,
+		Seq:     seq,
+		Ts:      stream.Time(ts),
+		Key:     key,
+		Arrival: stream.Time(ts),
+	}
+	if width := s.Arity(); width > 0 {
+		t.Vals = make([]float64, width)
+		s.fillVals(t.Vals)
+	}
+	return t, true
+}
+
+// AppendNext generates the next tuple directly into b's columns — the
+// allocation-free path (b's width should be Arity()). It is draw-for-draw
+// identical to Next, so mixed use stays deterministic. Returns false when
+// the source is exhausted; the batch is unchanged in that case.
+func (s *Source) AppendNext(b *stream.Batch) bool {
+	seq, ts, key, ok := s.step()
+	if !ok {
+		return false
+	}
+	s.fillVals(b.AppendRow(seq, stream.Time(ts), key, stream.Time(ts)))
+	return true
 }
 
 // Now returns the source's current application time in seconds.

@@ -35,11 +35,17 @@ func (f *BatchSliceFeed) Next() *stream.Batch {
 // source accumulates rusters of batchSize tuples, and Next always hands out
 // the pending batch with the earliest leading timestamp, so the interleaving
 // across streams matches what the arrival processes would produce live.
+//
+// Batches are built columnar (gen.Source.AppendNext) on pooled storage and
+// recycled: a batch returned by Next is valid only until the following Next
+// call. Replay consumers satisfy this trivially — Ingest copies everything
+// it retains before returning.
 type SourceFeed struct {
 	batchSize int
 	horizon   float64
 	pending   []*stream.Batch // pending[i] is the next batch of source i
 	srcs      []*gen.Source
+	lastOut   *stream.Batch // recycled at the next Next call
 }
 
 // NewSourceFeed builds a SourceFeed over srcs that stops at the application
@@ -64,32 +70,44 @@ func (f *SourceFeed) fill(i int) *stream.Batch {
 		if src.Now() > f.horizon {
 			break
 		}
-		t, ok := src.Next()
-		if !ok || float64(t.Ts) > f.horizon {
+		if b == nil {
+			b = stream.AcquireBatch(src.Name, src.Arity())
+		}
+		if !src.AppendNext(b) {
 			break
 		}
-		if b == nil {
-			b = stream.NewBatch(t.Stream)
+		if float64(b.LastTs()) > f.horizon {
+			// The generated tuple crossed the horizon; drop it (the
+			// source has advanced past it, matching the boxed path).
+			b.Truncate(b.Len() - 1)
+			break
 		}
-		b.Append(t)
 		if b.Len() >= f.batchSize {
 			return b
 		}
 	}
-	if b != nil && b.Len() > 0 {
-		return b
+	if b != nil {
+		if b.Len() > 0 {
+			return b
+		}
+		b.Release()
 	}
 	return nil
 }
 
 // Next implements Feed: the pending batch whose first tuple is earliest.
+// The previously returned batch is recycled by this call.
 func (f *SourceFeed) Next() *stream.Batch {
+	if f.lastOut != nil {
+		f.lastOut.Release()
+		f.lastOut = nil
+	}
 	best := -1
 	for i, b := range f.pending {
 		if b == nil {
 			continue
 		}
-		if best == -1 || b.Tuples[0].Ts < f.pending[best].Tuples[0].Ts {
+		if best == -1 || b.FirstTs() < f.pending[best].FirstTs() {
 			best = i
 		}
 	}
@@ -98,6 +116,7 @@ func (f *SourceFeed) Next() *stream.Batch {
 	}
 	b := f.pending[best]
 	f.pending[best] = f.fill(best)
+	f.lastOut = b
 	return b
 }
 

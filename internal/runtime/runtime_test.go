@@ -106,12 +106,13 @@ func TestSourceFeedOrderingAndHorizon(t *testing.T) {
 		if b.Len() == 0 {
 			t.Fatal("empty batch emitted")
 		}
-		first := float64(b.Tuples[0].Ts)
+		first := float64(b.FirstTs())
 		if first < lastFirst {
 			t.Fatalf("batches out of order: %v after %v", first, lastFirst)
 		}
 		lastFirst = first
-		for _, tu := range b.Tuples {
+		for i := 0; i < b.Len(); i++ {
+			tu := b.TupleAt(i)
 			if float64(tu.Ts) > horizon {
 				t.Fatalf("tuple past horizon: %v", tu.Ts)
 			}

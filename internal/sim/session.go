@@ -121,8 +121,8 @@ func (ss *Session) TryIngest(b *stream.Batch) error {
 	if ss.closed {
 		return runtime.ErrClosed
 	}
-	if n := b.Len(); n > 0 {
-		ss.s.advanceTo(float64(b.Tuples[n-1].Ts))
+	if b.Len() > 0 {
+		ss.s.advanceTo(float64(b.LastTs()))
 	}
 	ss.s.admit(float64(b.Len()))
 	return nil

@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracleWindow is the seed's boxed sliding-window implementation, kept
+// verbatim as a test oracle for the columnar ring-buffer Window.
+type oracleWindow struct {
+	span   float64
+	tuples []*Tuple
+	byKey  map[int64][]*Tuple
+}
+
+func newOracleWindow(span float64) *oracleWindow {
+	if span <= 0 {
+		span = 1e-9
+	}
+	return &oracleWindow{span: span, byKey: make(map[int64][]*Tuple)}
+}
+
+func (w *oracleWindow) insert(t *Tuple) {
+	w.tuples = append(w.tuples, t)
+	w.byKey[t.Key] = append(w.byKey[t.Key], t)
+	w.expireBefore(t.Ts.Add(-w.span))
+}
+
+func (w *oracleWindow) expireBefore(cutoff Time) {
+	i := 0
+	for i < len(w.tuples) && w.tuples[i].Ts.Before(cutoff) {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	for _, old := range w.tuples[:i] {
+		ks := w.byKey[old.Key]
+		for j, kt := range ks {
+			if kt == old {
+				ks = append(ks[:j], ks[j+1:]...)
+				break
+			}
+		}
+		if len(ks) == 0 {
+			delete(w.byKey, old.Key)
+		} else {
+			w.byKey[old.Key] = ks
+		}
+	}
+	rest := make([]*Tuple, len(w.tuples)-i)
+	copy(rest, w.tuples[i:])
+	w.tuples = rest
+}
+
+func (w *oracleWindow) probe(key int64) []*Tuple { return w.byKey[key] }
+
+// checkWindowEquivalence drives the same randomized, batched, out-of-order
+// tuple sequence through the boxed oracle (per-tuple insert) and the
+// columnar Window (InsertRows + single deferred expiration), asserting
+// identical join (probe) outputs at every batch boundary and identical
+// retained/expired sets after every batch.
+func checkWindowEquivalence(t *testing.T, seed int64, nBatches int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	span := 1 + rng.Float64()*9
+	keyDomain := int64(1 + rng.Intn(8))
+	width := rng.Intn(3)
+
+	w := NewWindow(span)
+	o := newOracleWindow(span)
+
+	ts := 0.0
+	seq := uint64(0)
+	var m Matches
+	for bi := 0; bi < nBatches; bi++ {
+		// Join outputs: probe every key in the domain before inserting.
+		for k := int64(0); k < keyDomain; k++ {
+			m.Reset()
+			w.AppendMatches(k, &m)
+			want := o.probe(k)
+			if m.Len() != len(want) {
+				t.Fatalf("seed %d batch %d: probe(%d) = %d matches, oracle %d",
+					seed, bi, k, m.Len(), len(want))
+			}
+			for i, wt := range want {
+				if m.Seq[i] != wt.Seq || m.Ts[i] != wt.Ts || m.Arr[i] != wt.Arrival {
+					t.Fatalf("seed %d batch %d: probe(%d)[%d] = seq %d ts %v, oracle %+v",
+						seed, bi, k, i, m.Seq[i], m.Ts[i], wt)
+				}
+				for vi, v := range wt.Vals {
+					if m.ValsAt(i)[vi] != v {
+						t.Fatalf("seed %d batch %d: probe(%d)[%d] payload mismatch", seed, bi, k, i)
+					}
+				}
+			}
+		}
+
+		// Build one batch with jittered (out-of-order) timestamps.
+		n := 1 + rng.Intn(40)
+		b := NewSizedBatch("S", width, n)
+		rows := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			ts += rng.Float64() * span / 4
+			jitter := rng.Float64() * span / 8 // rows within a batch may regress
+			rts := Time(ts - jitter)
+			row := b.AppendRow(seq, rts, rng.Int63n(keyDomain), rts)
+			for vi := range row {
+				row[vi] = rng.NormFloat64()
+			}
+			rows = append(rows, int32(i))
+			seq++
+		}
+
+		// Oracle inserts per tuple; columnar inserts the batch.
+		for i := 0; i < n; i++ {
+			tu := b.TupleAt(i)
+			o.insert(tu.Clone())
+		}
+		w.InsertRows(b, rows)
+
+		// Expiration sets: the retained sequences must match exactly.
+		if w.Len() != len(o.tuples) || w.Keys() != len(o.byKey) {
+			t.Fatalf("seed %d batch %d: Len/Keys = %d/%d, oracle %d/%d",
+				seed, bi, w.Len(), w.Keys(), len(o.tuples), len(o.byKey))
+		}
+		snap := NewBatch("S")
+		w.Snapshot(snap)
+		for i, ot := range o.tuples {
+			if snap.Seq[i] != ot.Seq || snap.Ts[i] != ot.Ts || snap.Key[i] != ot.Key {
+				t.Fatalf("seed %d batch %d: retained[%d] = seq %d, oracle seq %d",
+					seed, bi, i, snap.Seq[i], ot.Seq)
+			}
+		}
+	}
+}
+
+func TestWindowMatchesBoxedOracle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		checkWindowEquivalence(t, seed, 30)
+	}
+}
+
+// FuzzWindowOracleEquivalence explores the same property under fuzzing; the
+// seed corpus is exercised on every plain `go test` run.
+func FuzzWindowOracleEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(10))
+	f.Add(int64(42), uint8(50))
+	f.Add(int64(-7), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nBatches uint8) {
+		checkWindowEquivalence(t, seed, int(nBatches)%64+1)
+	})
+}

@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxJoinStreams bounds the number of streams a JoinSchema can index; the
+// presence mask is a uint64.
+const maxJoinStreams = 64
+
+// JoinSchema precomputes the stream-name → slot mapping for one query's join
+// results, so a Joined can store its parts in a small slice instead of a
+// per-result map. It also owns the pool Joined objects are recycled through.
+type JoinSchema struct {
+	streams []string
+	index   map[string]int
+	pool    sync.Pool
+}
+
+// NewJoinSchema builds the slot mapping for the given streams (at most 64).
+// Slot i corresponds to streams[i].
+func NewJoinSchema(streams []string) *JoinSchema {
+	if len(streams) > maxJoinStreams {
+		panic("stream: join schema over 64 streams")
+	}
+	cp := append([]string(nil), streams...)
+	idx := make(map[string]int, len(cp))
+	for i, s := range cp {
+		idx[s] = i
+	}
+	sch := &JoinSchema{streams: cp, index: idx}
+	sch.pool.New = func() any {
+		return &Joined{schema: sch, parts: make([]part, len(cp))}
+	}
+	return sch
+}
+
+// Len returns the number of streams in the schema.
+func (s *JoinSchema) Len() int { return len(s.streams) }
+
+// Slot returns the slot of the named stream, or -1 if absent.
+func (s *JoinSchema) Slot(streamName string) int {
+	if i, ok := s.index[streamName]; ok {
+		return i
+	}
+	return -1
+}
+
+// Stream returns the stream name at the given slot.
+func (s *JoinSchema) Stream(slot int) string { return s.streams[slot] }
+
+// Acquire returns an empty pooled Joined bound to this schema. Release it
+// exactly once when done (or hand it off to a consumer that never recycles).
+func (s *JoinSchema) Acquire() *Joined {
+	return s.pool.Get().(*Joined)
+}
+
+// part is one constituent tuple of a join result. Its payload lives at
+// [voff, voff+vlen) in the owning Joined's vals buffer — offsets rather than
+// subslices, so growing vals never invalidates earlier parts.
+type part struct {
+	seq  uint64
+	key  int64
+	ts   Time
+	arr  Time
+	voff int32
+	vlen int32
+}
+
+// Joined is the result of joining tuples from multiple streams. Parts are
+// stored in a slice indexed by the JoinSchema slot of their stream, with all
+// payload values appended into one flat buffer.
+//
+// Ts is the maximum constituent timestamp (the join result's time); Arrival
+// is the earliest constituent arrival (for latency accounting).
+type Joined struct {
+	schema *JoinSchema
+	mask   uint64 // bit i set ⇔ slot i populated
+
+	Ts      Time
+	Arrival Time
+
+	parts []part
+	vals  []float64
+}
+
+// Release resets j and returns it to its schema's pool. The caller must not
+// use j (or any Part view of it) afterwards, and must not Release twice.
+func (j *Joined) Release() {
+	j.mask = 0
+	j.Ts, j.Arrival = 0, 0
+	j.vals = j.vals[:0]
+	j.schema.pool.Put(j)
+}
+
+// SetPart fills the given slot from raw columns, copying vals into the
+// result's flat buffer and folding ts/arrival into the aggregates.
+func (j *Joined) SetPart(slot int, seq uint64, ts Time, key int64, arrival Time, vals []float64) {
+	off := int32(len(j.vals))
+	j.vals = append(j.vals, vals...)
+	j.parts[slot] = part{seq: seq, key: key, ts: ts, arr: arrival, voff: off, vlen: int32(len(vals))}
+	if j.mask == 0 {
+		j.Ts, j.Arrival = ts, arrival
+	} else {
+		if ts > j.Ts {
+			j.Ts = ts
+		}
+		if arrival < j.Arrival {
+			j.Arrival = arrival
+		}
+	}
+	j.mask |= 1 << uint(slot)
+}
+
+// SetTuple fills the given slot from a boxed tuple (convenience for tests
+// and ingest of singleton partials).
+func (j *Joined) SetTuple(slot int, t *Tuple) {
+	j.SetPart(slot, t.Seq, t.Ts, t.Key, t.Arrival, t.Vals)
+}
+
+// CloneWith returns a pooled copy of j with the given slot added — the
+// columnar replacement for the old map-copying Extend.
+func (j *Joined) CloneWith(slot int, seq uint64, ts Time, key int64, arrival Time, vals []float64) *Joined {
+	n := j.schema.Acquire()
+	n.mask = j.mask
+	n.Ts, n.Arrival = j.Ts, j.Arrival
+	copy(n.parts, j.parts)
+	n.vals = append(n.vals[:0], j.vals...)
+	n.SetPart(slot, seq, ts, key, arrival, vals)
+	return n
+}
+
+// Has reports whether the given slot is populated (false for negative
+// slots, so a not-in-schema lookup degrades to "absent").
+func (j *Joined) Has(slot int) bool { return slot >= 0 && j.mask&(1<<uint(slot)) != 0 }
+
+// Len returns the number of populated parts.
+func (j *Joined) Len() int { return bits.OnesCount64(j.mask) }
+
+// Key returns the equi-join key of the first populated part (all parts of an
+// equi-join share it), or 0 if j is empty.
+func (j *Joined) Key() int64 {
+	if j.mask == 0 {
+		return 0
+	}
+	return j.parts[bits.TrailingZeros64(j.mask)].key
+}
+
+// Val returns payload value i of the part at the given slot; ok is false if
+// the slot is empty or the payload is shorter than i+1.
+func (j *Joined) Val(slot, i int) (float64, bool) {
+	if !j.Has(slot) {
+		return 0, false
+	}
+	p := &j.parts[slot]
+	if int32(i) >= p.vlen {
+		return 0, false
+	}
+	return j.vals[p.voff+int32(i)], true
+}
+
+// Part materializes the tuple at the given slot as a view. Its Vals alias
+// j's buffer — valid only until j is Released.
+func (j *Joined) Part(slot int) (Tuple, bool) {
+	if !j.Has(slot) {
+		return Tuple{}, false
+	}
+	p := &j.parts[slot]
+	return Tuple{
+		Stream:  j.schema.streams[slot],
+		Seq:     p.seq,
+		Ts:      p.ts,
+		Key:     p.key,
+		Arrival: p.arr,
+		Vals:    j.vals[p.voff : p.voff+p.vlen : p.voff+p.vlen],
+	}, true
+}
+
+// PartByStream is Part keyed by stream name.
+func (j *Joined) PartByStream(streamName string) (Tuple, bool) {
+	slot := j.schema.Slot(streamName)
+	if slot < 0 {
+		return Tuple{}, false
+	}
+	return j.Part(slot)
+}
+
+// Streams returns the populated stream names in slot (schema) order.
+func (j *Joined) Streams() []string {
+	out := make([]string, 0, j.Len())
+	for i, s := range j.schema.streams {
+		if j.Has(i) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

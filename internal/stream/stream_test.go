@@ -42,6 +42,7 @@ func TestTimeOps(t *testing.T) {
 }
 
 func TestSchemaIndex(t *testing.T) {
+	// Literal form: linear-scan fallback.
 	s := Schema{Stream: "S", Fields: []string{"price", "volume"}}
 	if s.Index("price") != 0 || s.Index("volume") != 1 {
 		t.Fatal("known fields misindexed")
@@ -49,35 +50,80 @@ func TestSchemaIndex(t *testing.T) {
 	if s.Index("missing") != -1 {
 		t.Fatal("missing field should be -1")
 	}
+	// NewSchema: cached map lookup must agree.
+	c := NewSchema("S", "price", "volume")
+	if c.Index("price") != 0 || c.Index("volume") != 1 || c.Index("missing") != -1 {
+		t.Fatal("cached schema index disagrees with linear scan")
+	}
 }
 
 func TestJoinedCombines(t *testing.T) {
-	a := &Tuple{Stream: "A", Ts: 1, Arrival: 10}
-	b := &Tuple{Stream: "B", Ts: 3, Arrival: 5}
-	j := NewJoined(a, b)
+	sch := NewJoinSchema([]string{"A", "B", "C"})
+	j := sch.Acquire()
+	j.SetTuple(0, &Tuple{Stream: "A", Ts: 1, Arrival: 10, Key: 5, Vals: []float64{1}})
+	j.SetTuple(1, &Tuple{Stream: "B", Ts: 3, Arrival: 5, Key: 5, Vals: []float64{2, 3}})
 	if j.Ts != 3 {
 		t.Fatalf("Ts = %v, want max 3", j.Ts)
 	}
 	if j.Arrival != 5 {
 		t.Fatalf("Arrival = %v, want min 5", j.Arrival)
 	}
+	if j.Len() != 2 || j.Has(2) {
+		t.Fatalf("wrong population: len=%d", j.Len())
+	}
 	got := j.Streams()
 	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
 		t.Fatalf("Streams = %v", got)
 	}
+	if j.Key() != 5 {
+		t.Fatalf("Key = %d, want 5", j.Key())
+	}
+	a, ok := j.Part(0)
+	if !ok || a.Stream != "A" || len(a.Vals) != 1 || a.Vals[0] != 1 {
+		t.Fatalf("Part(0) = %+v", a)
+	}
+	b, ok := j.PartByStream("B")
+	if !ok || b.Vals[1] != 3 {
+		t.Fatalf("PartByStream(B) = %+v", b)
+	}
+	if v, ok := j.Val(1, 0); !ok || v != 2 {
+		t.Fatalf("Val(1,0) = %v, %v", v, ok)
+	}
+	if _, ok := j.Val(2, 0); ok {
+		t.Fatal("Val on empty slot must be !ok")
+	}
+	j.Release()
 }
 
-func TestJoinedExtend(t *testing.T) {
-	a := &Tuple{Stream: "A", Ts: 1, Arrival: 4}
-	j := NewJoined(a)
-	c := &Tuple{Stream: "C", Ts: 9, Arrival: 1}
-	j2 := j.Extend(c)
-	if len(j.Parts) != 1 {
-		t.Fatal("Extend mutated the original")
+func TestJoinedCloneWith(t *testing.T) {
+	sch := NewJoinSchema([]string{"A", "C"})
+	j := sch.Acquire()
+	j.SetTuple(0, &Tuple{Stream: "A", Ts: 1, Arrival: 4, Key: 9, Vals: []float64{7}})
+	j2 := j.CloneWith(1, 11, 9, 9, 1, []float64{8})
+	if j.Len() != 1 {
+		t.Fatal("CloneWith mutated the original")
 	}
-	if len(j2.Parts) != 2 || j2.Ts != 9 || j2.Arrival != 1 {
-		t.Fatalf("Extend wrong: %+v", j2)
+	if j2.Len() != 2 || j2.Ts != 9 || j2.Arrival != 1 {
+		t.Fatalf("CloneWith wrong: len=%d ts=%v arr=%v", j2.Len(), j2.Ts, j2.Arrival)
 	}
+	// The clone's parts must not alias the original's vals buffer.
+	a, _ := j2.Part(0)
+	if a.Vals[0] != 7 {
+		t.Fatalf("clone lost original part: %v", a.Vals)
+	}
+	j.Release()
+	c, _ := j2.Part(1)
+	if c.Seq != 11 || c.Vals[0] != 8 {
+		t.Fatalf("Part(1) = %+v", c)
+	}
+	j2.Release()
+}
+
+// probeSeqs materializes a window probe as a seq slice (test helper).
+func probeSeqs(w *Window, key int64) []uint64 {
+	var m Matches
+	w.AppendMatches(key, &m)
+	return m.Seq
 }
 
 func TestWindowInsertProbe(t *testing.T) {
@@ -88,14 +134,27 @@ func TestWindowInsertProbe(t *testing.T) {
 	if w.Len() != 5 {
 		t.Fatalf("Len = %d, want 5", w.Len())
 	}
-	if got := len(w.Probe(0)); got != 3 {
-		t.Fatalf("Probe(0) = %d matches, want 3", got)
+	if got := probeSeqs(w, 0); len(got) != 3 {
+		t.Fatalf("Probe(0) = %d matches, want 3", len(got))
 	}
-	if got := len(w.Probe(1)); got != 2 {
-		t.Fatalf("Probe(1) = %d matches, want 2", got)
+	if got := probeSeqs(w, 1); len(got) != 2 {
+		t.Fatalf("Probe(1) = %d matches, want 2", len(got))
 	}
 	if w.Keys() != 2 {
 		t.Fatalf("Keys = %d, want 2", w.Keys())
+	}
+}
+
+func TestWindowProbeOrderOldestFirst(t *testing.T) {
+	w := NewWindow(100)
+	for i := 0; i < 6; i++ {
+		w.Insert(&Tuple{Seq: uint64(i), Ts: Time(i), Key: 1, Vals: []float64{float64(i)}})
+	}
+	got := probeSeqs(w, 1)
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("probe order not oldest-first: %v", got)
+		}
 	}
 }
 
@@ -108,13 +167,15 @@ func TestWindowExpiration(t *testing.T) {
 	if w.Len() != 6 {
 		t.Fatalf("Len = %d, want 6 (ts 5..10)", w.Len())
 	}
-	for _, tu := range w.All() {
-		if tu.Ts < 5 {
-			t.Fatalf("expired tuple still present: %v", tu)
+	snap := NewBatch("S")
+	w.Snapshot(snap)
+	for i := 0; i < snap.Len(); i++ {
+		if snap.Ts[i] < 5 {
+			t.Fatalf("expired tuple still present: ts=%v", snap.Ts[i])
 		}
 	}
-	if got := len(w.Probe(0)); got != 6 {
-		t.Fatalf("Probe after expire = %d, want 6", got)
+	if got := probeSeqs(w, 0); len(got) != 6 {
+		t.Fatalf("Probe after expire = %d, want 6", len(got))
 	}
 }
 
@@ -122,8 +183,8 @@ func TestWindowExpireRemovesKeyEntries(t *testing.T) {
 	w := NewWindow(1)
 	w.Insert(&Tuple{Ts: 0, Key: 7})
 	w.Insert(&Tuple{Ts: 10, Key: 8}) // expires key 7 entirely
-	if got := len(w.Probe(7)); got != 0 {
-		t.Fatalf("Probe(7) = %d, want 0", got)
+	if got := probeSeqs(w, 7); len(got) != 0 {
+		t.Fatalf("Probe(7) = %d, want 0", len(got))
 	}
 	if w.Keys() != 1 {
 		t.Fatalf("Keys = %d, want 1", w.Keys())
@@ -141,8 +202,51 @@ func TestWindowZeroSpanGuard(t *testing.T) {
 	}
 }
 
+func TestWindowGrowKeepsChains(t *testing.T) {
+	w := NewWindow(1e9)
+	const n = 500 // forces several capacity doublings
+	for i := 0; i < n; i++ {
+		w.Insert(&Tuple{Seq: uint64(i), Ts: Time(i), Key: int64(i % 7), Vals: []float64{float64(i), -float64(i)}})
+	}
+	if w.Len() != n {
+		t.Fatalf("Len = %d, want %d", w.Len(), n)
+	}
+	total := 0
+	for k := int64(0); k < 7; k++ {
+		var m Matches
+		w.AppendMatches(k, &m)
+		total += m.Len()
+		for i := 0; i < m.Len(); i++ {
+			if m.Seq[i]%7 != uint64(k) {
+				t.Fatalf("key %d chain contains seq %d", k, m.Seq[i])
+			}
+			if m.ValsAt(i)[0] != float64(m.Seq[i]) {
+				t.Fatalf("payload mismatch at seq %d", m.Seq[i])
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("chains cover %d records, want %d", total, n)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(10)
+	for i := 0; i < 5; i++ {
+		w.Insert(&Tuple{Seq: uint64(i), Ts: Time(i), Key: 1})
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Keys() != 0 {
+		t.Fatalf("Reset left %d tuples, %d keys", w.Len(), w.Keys())
+	}
+	w.Insert(&Tuple{Seq: 9, Ts: 1, Key: 1})
+	if got := probeSeqs(w, 1); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("probe after reset = %v", got)
+	}
+}
+
 // Property: window never retains a tuple older than span behind the max
-// timestamp, and Probe(k) returns exactly the retained tuples with key k.
+// timestamp, and a probe returns exactly the retained tuples with that key.
 func TestWindowInvariantQuick(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -159,15 +263,17 @@ func TestWindowInvariantQuick(t *testing.T) {
 			}
 		}
 		cutoff := maxTs.Add(-w.Span())
+		snap := NewBatch("S")
+		w.Snapshot(snap)
 		counts := map[int64]int{}
-		for _, tu := range w.All() {
-			if tu.Ts.Before(cutoff) {
+		for i := 0; i < snap.Len(); i++ {
+			if snap.Ts[i].Before(cutoff) {
 				return false
 			}
-			counts[tu.Key]++
+			counts[snap.Key[i]]++
 		}
 		for k := int64(0); k < 4; k++ {
-			if len(w.Probe(k)) != counts[k] {
+			if len(probeSeqs(w, k)) != counts[k] {
 				return false
 			}
 		}
@@ -229,4 +335,48 @@ func TestBatchSpan(t *testing.T) {
 	if b.Span() != 3 {
 		t.Fatalf("span = %v, want 3", b.Span())
 	}
+}
+
+func TestBatchColumnar(t *testing.T) {
+	b := NewSizedBatch("S", 2, 4)
+	if b.Width() != 2 {
+		t.Fatalf("Width = %d, want 2", b.Width())
+	}
+	row := b.AppendRow(0, 1.5, 42, 1.5)
+	row[0], row[1] = 10, 20
+	b.Append(&Tuple{Seq: 1, Ts: 2.5, Key: 43, Arrival: 2.5, Vals: []float64{30}}) // zero-padded
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.ValsAt(0); got[0] != 10 || got[1] != 20 {
+		t.Fatalf("ValsAt(0) = %v", got)
+	}
+	if got := b.ValsAt(1); got[0] != 30 || got[1] != 0 {
+		t.Fatalf("ValsAt(1) = %v", got)
+	}
+	tu := b.TupleAt(1)
+	if tu.Stream != "S" || tu.Seq != 1 || tu.Key != 43 || tu.Vals[0] != 30 {
+		t.Fatalf("TupleAt(1) = %+v", tu)
+	}
+	if b.FirstTs() != 1.5 || b.LastTs() != 2.5 || b.MaxTs() != 2.5 {
+		t.Fatalf("ts accessors: %v %v %v", b.FirstTs(), b.LastTs(), b.MaxTs())
+	}
+	b.Truncate(1)
+	if b.Len() != 1 || len(b.Vals) != 2 {
+		t.Fatalf("Truncate: len=%d vals=%d", b.Len(), len(b.Vals))
+	}
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := AcquireBatch("S", 1)
+	b.AppendRow(0, 1, 7, 1)[0] = 3.5
+	if b.Len() != 1 || b.Width() != 1 {
+		t.Fatalf("acquired batch wrong: len=%d width=%d", b.Len(), b.Width())
+	}
+	b.Release()
+	b2 := AcquireBatch("T", 3)
+	if b2.Len() != 0 || b2.Width() != 3 || b2.Plan != -1 {
+		t.Fatalf("reacquired batch dirty: len=%d width=%d plan=%d", b2.Len(), b2.Width(), b2.Plan)
+	}
+	b2.Release()
 }

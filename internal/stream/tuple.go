@@ -4,12 +4,37 @@
 // Time is modeled as float64 seconds of application time (the paper's
 // "application timestamps", §6.1), so query answers are independent of the
 // wall-clock rate at which data is replayed.
+//
+// # Columnar layout
+//
+// The hot-path containers are columnar (struct-of-arrays) so that a batch of
+// n tuples costs a handful of slice allocations instead of n boxed tuples:
+//
+//   - Batch stores per-tuple attributes in parallel Seq/Ts/Key/Arr columns
+//     and payloads in one flat Vals column with a fixed per-stream arity.
+//   - Window is a ring buffer over the same columns with a hash-chain key
+//     index; expiration advances a head position instead of reallocating.
+//   - Joined stores its per-stream parts in a slice indexed by a precomputed
+//     stream slot (JoinSchema), with all payload values in one flat buffer.
+//
+// The boxed Tuple remains as the interchange/view type: Batch.TupleAt,
+// Joined.Part, and friends materialize views on demand.
+//
+// # Ownership and reuse
+//
+// Batch, Joined, and the engine-side scratch buffers are pooled. The rules:
+//
+//   - A Batch handed to Engine.Ingest (or Session.Ingest) is fully copied
+//     during the call; the caller may Reset, Release, or reuse it as soon as
+//     Ingest returns.
+//   - Tuple views obtained from TupleAt/ValsAt/Part alias pooled storage and
+//     are valid only until the owning Batch/Joined is Released or Reset.
+//   - A Joined is exclusively owned by whoever holds the partials slice it
+//     sits in; it must be Released exactly once, unless ownership is handed
+//     to a result observer (then it is never recycled and the GC reclaims it).
 package stream
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Time is an application timestamp in seconds. Windows are defined over
 // application time, not arrival time, to keep workloads repeatable (§6.1).
@@ -53,72 +78,40 @@ func (t *Tuple) String() string {
 	return fmt.Sprintf("%s#%d@%.3f key=%d vals=%v", t.Stream, t.Seq, float64(t.Ts), t.Key, t.Vals)
 }
 
-// Schema names the payload positions of a stream's tuples.
+// Schema names the payload positions of a stream's tuples. Construct with
+// NewSchema to get O(1) field lookups; the zero-map form still works and
+// falls back to a linear scan.
 type Schema struct {
 	Stream string
 	Fields []string
+
+	// pos caches field → position; built by NewSchema.
+	pos map[string]int
+}
+
+// NewSchema returns a Schema with a precomputed field→position index, so
+// Index is a map lookup instead of a per-call linear scan.
+func NewSchema(streamName string, fields ...string) Schema {
+	s := Schema{Stream: streamName, Fields: fields}
+	s.pos = make(map[string]int, len(fields))
+	for i, f := range fields {
+		s.pos[f] = i
+	}
+	return s
 }
 
 // Index returns the position of the named field, or -1 if absent.
 func (s Schema) Index(field string) int {
+	if s.pos != nil {
+		if i, ok := s.pos[field]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, f := range s.Fields {
 		if f == field {
 			return i
 		}
 	}
 	return -1
-}
-
-// Joined is the result of joining tuples from multiple streams. It retains
-// the constituent tuples so downstream operators can re-apply predicates.
-type Joined struct {
-	// Parts maps stream name to the participating tuple.
-	Parts map[string]*Tuple
-	// Ts is the maximum constituent timestamp (the join result's time).
-	Ts Time
-	// Arrival is the earliest constituent arrival (for latency accounting).
-	Arrival Time
-}
-
-// NewJoined combines parts into a join result.
-func NewJoined(parts ...*Tuple) *Joined {
-	j := &Joined{Parts: make(map[string]*Tuple, len(parts))}
-	first := true
-	for _, p := range parts {
-		j.Parts[p.Stream] = p
-		if p.Ts > j.Ts {
-			j.Ts = p.Ts
-		}
-		if first || p.Arrival < j.Arrival {
-			j.Arrival = p.Arrival
-			first = false
-		}
-	}
-	return j
-}
-
-// Extend returns a new Joined with t added.
-func (j *Joined) Extend(t *Tuple) *Joined {
-	n := &Joined{Parts: make(map[string]*Tuple, len(j.Parts)+1), Ts: j.Ts, Arrival: j.Arrival}
-	for k, v := range j.Parts {
-		n.Parts[k] = v
-	}
-	n.Parts[t.Stream] = t
-	if t.Ts > n.Ts {
-		n.Ts = t.Ts
-	}
-	if t.Arrival < n.Arrival {
-		n.Arrival = t.Arrival
-	}
-	return n
-}
-
-// Streams returns the sorted stream names participating in j.
-func (j *Joined) Streams() []string {
-	out := make([]string, 0, len(j.Parts))
-	for k := range j.Parts {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

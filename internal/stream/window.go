@@ -1,14 +1,36 @@
 package stream
 
+// noPos terminates a key chain in Window.next.
+const noPos = ^uint64(0)
+
 // Window is a sliding time window buffer over one stream, ordered by
 // application timestamp. It supports insertion, expiration, and key probes —
 // the operations a symmetric windowed join needs.
 //
+// Storage is a columnar ring buffer: records live in power-of-two columns
+// addressed by absolute positions (head..tail), so expiration just advances
+// head — no reallocation or copying. The key index is a hash chain: byKey
+// maps each key to its newest position and next links each record to the
+// previous record with the same key. Because eviction is strictly
+// oldest-first, a key's map entry is deleted exactly when its newest record
+// is evicted (everything older in the chain is already gone), and chain
+// walks stop at the first position below head.
+//
 // The zero Window is not usable; construct with NewWindow.
 type Window struct {
-	span   float64 // window length in seconds
-	tuples []*Tuple
-	byKey  map[int64][]*Tuple
+	span  float64 // window length in seconds
+	arity int     // payload width+1; 0 until fixed by the first insert
+
+	head, tail uint64 // absolute positions; live records are [head, tail)
+
+	seq  []uint64
+	ts   []Time
+	key  []int64
+	arr  []Time
+	vals []float64 // width values per slot
+	next []uint64  // same-key chain: absolute position of the next-older record
+
+	byKey map[int64]uint64 // key → newest absolute position
 }
 
 // NewWindow returns an empty sliding window of the given span in seconds.
@@ -16,58 +38,233 @@ func NewWindow(span float64) *Window {
 	if span <= 0 {
 		span = 1e-9
 	}
-	return &Window{span: span, byKey: make(map[int64][]*Tuple)}
+	return &Window{span: span, byKey: make(map[int64]uint64)}
 }
 
 // Span returns the window length in seconds.
 func (w *Window) Span() float64 { return w.span }
 
 // Len returns the number of buffered tuples.
-func (w *Window) Len() int { return len(w.tuples) }
+func (w *Window) Len() int { return int(w.tail - w.head) }
+
+// Keys returns the number of distinct keys currently buffered.
+func (w *Window) Keys() int { return len(w.byKey) }
+
+// Width returns the payload width, or -1 until the first insert fixes it.
+func (w *Window) Width() int { return w.arity - 1 }
+
+// grow doubles the ring capacity, re-slotting live records at their absolute
+// position under the new mask (positions and chain links stay valid).
+func (w *Window) grow() {
+	oldCap := len(w.seq)
+	newCap := oldCap * 2
+	if newCap < 64 {
+		newCap = 64
+	}
+	width := w.arity - 1
+	seq := make([]uint64, newCap)
+	ts := make([]Time, newCap)
+	key := make([]int64, newCap)
+	arr := make([]Time, newCap)
+	vals := make([]float64, newCap*width)
+	next := make([]uint64, newCap)
+	if oldCap > 0 {
+		oldMask := uint64(oldCap - 1)
+		newMask := uint64(newCap - 1)
+		for p := w.head; p < w.tail; p++ {
+			os, ns := p&oldMask, p&newMask
+			seq[ns] = w.seq[os]
+			ts[ns] = w.ts[os]
+			key[ns] = w.key[os]
+			arr[ns] = w.arr[os]
+			next[ns] = w.next[os]
+			copy(vals[int(ns)*width:(int(ns)+1)*width], w.vals[int(os)*width:(int(os)+1)*width])
+		}
+	}
+	w.seq, w.ts, w.key, w.arr, w.vals, w.next = seq, ts, key, arr, vals, next
+}
+
+// appendRecord writes one record at tail and links it into its key chain.
+// The window's width must already be fixed.
+func (w *Window) appendRecord(seq uint64, ts Time, key int64, arrival Time, vals []float64) {
+	if w.Len() == len(w.seq) {
+		w.grow()
+	}
+	mask := uint64(len(w.seq) - 1)
+	slot := w.tail & mask
+	w.seq[slot] = seq
+	w.ts[slot] = ts
+	w.key[slot] = key
+	w.arr[slot] = arrival
+	width := w.arity - 1
+	dst := w.vals[int(slot)*width : (int(slot)+1)*width]
+	n := copy(dst, vals)
+	for i := n; i < width; i++ {
+		dst[i] = 0
+	}
+	if prev, ok := w.byKey[key]; ok {
+		w.next[slot] = prev
+	} else {
+		w.next[slot] = noPos
+	}
+	w.byKey[key] = w.tail
+	w.tail++
+}
 
 // Insert adds t and evicts tuples older than t.Ts - span. Tuples must be
 // inserted in non-decreasing timestamp order; out-of-order inserts are
 // accepted but expiration is driven by the max timestamp seen.
 func (w *Window) Insert(t *Tuple) {
-	w.tuples = append(w.tuples, t)
-	w.byKey[t.Key] = append(w.byKey[t.Key], t)
+	if w.arity == 0 {
+		w.arity = len(t.Vals) + 1
+	}
+	w.appendRecord(t.Seq, t.Ts, t.Key, t.Arrival, t.Vals)
 	w.ExpireBefore(t.Ts.Add(-w.span))
 }
 
-// ExpireBefore removes all tuples with Ts < cutoff.
-func (w *Window) ExpireBefore(cutoff Time) {
-	i := 0
-	for i < len(w.tuples) && w.tuples[i].Ts.Before(cutoff) {
-		i++
-	}
-	if i == 0 {
+// InsertRows bulk-inserts the given rows of b (in order), then expires once
+// against the rows' maximum timestamp. This retains exactly the same set as
+// per-row Insert: expiration only scans the (timestamp-ordered-enough)
+// prefix, and deferring it to the batch maximum evicts the union of what the
+// per-row cutoffs would have evicted.
+func (w *Window) InsertRows(b *Batch, rows []int32) {
+	if len(rows) == 0 {
 		return
 	}
-	for _, old := range w.tuples[:i] {
-		ks := w.byKey[old.Key]
-		for j, kt := range ks {
-			if kt == old {
-				ks = append(ks[:j], ks[j+1:]...)
-				break
-			}
-		}
-		if len(ks) == 0 {
-			delete(w.byKey, old.Key)
+	if w.arity == 0 {
+		if b.arity > 0 {
+			w.arity = b.arity
 		} else {
-			w.byKey[old.Key] = ks
+			w.arity = 1
 		}
 	}
-	rest := make([]*Tuple, len(w.tuples)-i)
-	copy(rest, w.tuples[i:])
-	w.tuples = rest
+	maxTs := b.Ts[rows[0]]
+	for _, r := range rows {
+		ts := b.Ts[r]
+		if ts > maxTs {
+			maxTs = ts
+		}
+		w.appendRecord(b.Seq[r], ts, b.Key[r], b.Arr[r], b.ValsAt(int(r)))
+	}
+	w.ExpireBefore(maxTs.Add(-w.span))
 }
 
-// Probe returns the buffered tuples matching key, newest last. The returned
-// slice is shared; callers must not mutate it.
-func (w *Window) Probe(key int64) []*Tuple { return w.byKey[key] }
+// ExpireBefore removes all tuples with Ts < cutoff (prefix scan from head).
+func (w *Window) ExpireBefore(cutoff Time) {
+	if w.head == w.tail {
+		return
+	}
+	mask := uint64(len(w.seq) - 1)
+	for w.head < w.tail && w.ts[w.head&mask].Before(cutoff) {
+		slot := w.head & mask
+		if k := w.key[slot]; w.byKey[k] == w.head {
+			delete(w.byKey, k)
+		}
+		w.head++
+	}
+}
 
-// All returns the buffered tuples in insertion order. Shared; do not mutate.
-func (w *Window) All() []*Tuple { return w.tuples }
+// AppendMatches appends all buffered records matching key to m, oldest
+// first (insertion order), and returns how many were appended. The records
+// are copied out, so m remains valid after further window mutation.
+func (w *Window) AppendMatches(key int64, m *Matches) int {
+	pos, ok := w.byKey[key]
+	if !ok {
+		return 0
+	}
+	mask := uint64(len(w.seq) - 1)
+	n := 0
+	for p := pos; p != noPos && p >= w.head; p = w.next[p&mask] {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	width := w.arity - 1
+	if m.Len() == 0 {
+		m.width = width
+	}
+	mw := m.width
+	base := len(m.Seq)
+	for i := 0; i < n; i++ {
+		m.Seq = append(m.Seq, 0)
+		m.Ts = append(m.Ts, 0)
+		m.Arr = append(m.Arr, 0)
+	}
+	for i := 0; i < n*mw; i++ {
+		m.Vals = append(m.Vals, 0)
+	}
+	cw := width
+	if mw < cw {
+		cw = mw
+	}
+	i := base + n - 1
+	for p := pos; p != noPos && p >= w.head; p = w.next[p&mask] {
+		slot := int(p & mask)
+		m.Seq[i] = w.seq[p&mask]
+		m.Ts[i] = w.ts[p&mask]
+		m.Arr[i] = w.arr[p&mask]
+		copy(m.Vals[i*mw:i*mw+cw], w.vals[slot*width:slot*width+cw])
+		i--
+	}
+	return n
+}
 
-// Keys returns the number of distinct keys currently buffered.
-func (w *Window) Keys() int { return len(w.byKey) }
+// Snapshot appends every buffered record to b in insertion order (for
+// checkpointing). If b's width is not yet fixed it inherits the window's.
+func (w *Window) Snapshot(b *Batch) {
+	if w.head == w.tail {
+		return
+	}
+	if b.arity == 0 {
+		b.arity = w.arity
+	}
+	mask := uint64(len(w.seq) - 1)
+	width := w.arity - 1
+	for p := w.head; p < w.tail; p++ {
+		slot := int(p & mask)
+		row := b.AppendRow(w.seq[p&mask], w.ts[p&mask], w.key[p&mask], w.arr[p&mask])
+		copy(row, w.vals[slot*width:slot*width+width])
+	}
+}
+
+// Reset drops all buffered tuples, keeping capacity and span.
+func (w *Window) Reset() {
+	w.head, w.tail = 0, 0
+	for k := range w.byKey {
+		delete(w.byKey, k)
+	}
+}
+
+// Matches is a columnar probe-result scratch buffer: the records matching a
+// sequence of AppendMatches calls, each ValsAt(i) being Width() payload
+// values. Reset before reuse across operators (the width follows the first
+// window appended after a Reset).
+type Matches struct {
+	Seq  []uint64
+	Ts   []Time
+	Arr  []Time
+	Vals []float64
+
+	width int
+}
+
+// Len returns the number of buffered match records.
+func (m *Matches) Len() int { return len(m.Seq) }
+
+// Width returns the payload width of the buffered records.
+func (m *Matches) Width() int { return m.width }
+
+// Reset truncates m, keeping capacity.
+func (m *Matches) Reset() {
+	m.Seq = m.Seq[:0]
+	m.Ts = m.Ts[:0]
+	m.Arr = m.Arr[:0]
+	m.Vals = m.Vals[:0]
+	m.width = 0
+}
+
+// ValsAt returns record i's payload (a view into Vals).
+func (m *Matches) ValsAt(i int) []float64 {
+	return m.Vals[i*m.width : (i+1)*m.width : (i+1)*m.width]
+}

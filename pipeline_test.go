@@ -16,7 +16,7 @@ func stressBatch(dep *Deployment, rng *rand.Rand, ts *float64, size int) *Batch 
 	for j := 0; j < size; j++ {
 		*ts += 0.01
 		t := Time(*ts)
-		b.Tuples = append(b.Tuples, &Tuple{
+		b.Append(&Tuple{
 			Stream: s, Seq: uint64(j), Ts: t,
 			Key: rng.Int63n(1024), Vals: []float64{rng.Float64() * 100}, Arrival: t,
 		})

@@ -359,6 +359,14 @@ type (
 // DefaultEngineConfig returns live-engine defaults.
 func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
 
+// AcquireBatch returns a pooled empty batch for the named stream with the
+// given payload width; Release it after Ingest returns to recycle the
+// columns. This is the zero-allocation producer path — Ingest copies
+// everything it needs before returning.
+func AcquireBatch(streamName string, width int) *Batch {
+	return stream.AcquireBatch(streamName, width)
+}
+
 // NewEngine builds a live engine executing the deployment's query on
 // nNodes simulated nodes using the deployment's placement and classifier.
 func NewEngine(dep *Deployment, cfg EngineConfig) (*Engine, error) {

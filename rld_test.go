@@ -84,7 +84,7 @@ func TestPublicEngine(t *testing.T) {
 	for _, name := range dep.Query.Streams {
 		b := &Batch{Stream: name}
 		for i := 0; i < 10; i++ {
-			b.Tuples = append(b.Tuples, &Tuple{Stream: name, Seq: uint64(i), Key: int64(i % 3), Vals: []float64{50}})
+			b.Append(&Tuple{Stream: name, Seq: uint64(i), Key: int64(i % 3), Vals: []float64{50}})
 		}
 		if err := e.Ingest(b); err != nil {
 			t.Fatal(err)
@@ -147,7 +147,7 @@ func TestPublicStaticEngine(t *testing.T) {
 	}
 	e.Start()
 	b := &Batch{Stream: "S1"}
-	b.Tuples = append(b.Tuples, &Tuple{Stream: "S1", Key: 1, Vals: []float64{10}})
+	b.Append(&Tuple{Stream: "S1", Key: 1, Vals: []float64{10}})
 	if err := e.Ingest(b); err != nil {
 		t.Fatal(err)
 	}
