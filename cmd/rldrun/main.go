@@ -11,6 +11,7 @@
 //	rldrun -faults "crash:1@300-420;mode=checkpoint"
 //	rldrun -faults random            # seeded random crash schedule
 //	rldrun -live 120                 # …plus live-engine Pipeline sessions
+//	rldrun -distributed 120          # …plus leader/worker multi-process runs
 package main
 
 import (
@@ -23,6 +24,9 @@ import (
 )
 
 func main() {
+	// Re-exec entry point: when this process was spawned as a
+	// distributed-mode worker, serve the worker loop and never return.
+	rld.MaybeWorker()
 	ops := flag.Int("ops", 5, "number of query operators")
 	nodes := flag.Int("nodes", 4, "cluster size")
 	minutes := flag.Float64("minutes", 30, "simulated run length")
@@ -32,6 +36,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	faults := flag.String("faults", "", `fault schedule ("crash:1@300-420;mode=checkpoint", or "random")`)
 	live := flag.Float64("live", 0, "also run each policy as a live-engine Pipeline session over this many seconds of real tuples (0 = off)")
+	dist := flag.Float64("distributed", 0, "also run each policy on the multi-process network substrate (leader + one worker process per node) over this many seconds of real tuples (0 = off)")
+	workerBin := flag.String("worker-bin", "", "worker binary for -distributed (default: re-exec this binary)")
+	minComplete := flag.Float64("mincomplete", 0, "with -distributed and -faults: exit nonzero unless the faulted RLD run's completeness vs its fault-free run is at least this (0 = report only)")
 	flag.Parse()
 
 	q := rld.NewNWayJoin("Q", *ops, 10)
@@ -139,38 +146,41 @@ func main() {
 			res.Migrations, res.MigrationDowntime, 100*res.OverheadRatio())
 	}
 
+	// Feed and policy factories shared by the live-engine and distributed
+	// sections. DYN's absolute activation floor is in simulator cost-units;
+	// the engine reports queued message counts, so it is retuned to that
+	// scale.
+	makeFeed := func(seconds float64) rld.Feed {
+		srcs := make([]*rld.Source, len(q.Streams))
+		for i, s := range q.Streams {
+			srcs[i] = rld.NewSource(s,
+				rld.ConstProfile(q.Rates[s]**ratio),
+				rld.KeyDist{Target: rld.ConstProfile(0.002), Cold: 4096},
+				rld.UniformDist{A: 0, B: 100}, *seed+int64(i)*13)
+		}
+		return rld.NewSourceFeed(srcs, *batch, seconds)
+	}
+	dynCfg := rld.DefaultDYNConfig()
+	dynCfg.ActivationFloor = 2
+	dynCfg.CooldownSeconds = 10
+	mkLive := func() []rld.Policy {
+		dynP, err := rld.NewDYN(dep, dynCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rodP, err := rld.NewROD(dep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return []rld.Policy{rodP, dynP, dep.NewPolicy(*batch)}
+	}
+	ctx := context.Background()
+
 	if *live > 0 {
 		// The same policies as long-lived Pipeline sessions on the live
 		// engine: real tuples through worker pools, with the session's
 		// Events stream counting plan switches and migrations as they
-		// happen. DYN's absolute activation floor is in simulator
-		// cost-units; the engine reports queued message counts, so it is
-		// retuned to that scale.
-		makeFeed := func() rld.Feed {
-			srcs := make([]*rld.Source, len(q.Streams))
-			for i, s := range q.Streams {
-				srcs[i] = rld.NewSource(s,
-					rld.ConstProfile(q.Rates[s]**ratio),
-					rld.KeyDist{Target: rld.ConstProfile(0.002), Cold: 4096},
-					rld.UniformDist{A: 0, B: 100}, *seed+int64(i)*13)
-			}
-			return rld.NewSourceFeed(srcs, *batch, *live)
-		}
-		dynCfg := rld.DefaultDYNConfig()
-		dynCfg.ActivationFloor = 2
-		dynCfg.CooldownSeconds = 10
-		mkLive := func() []rld.Policy {
-			dynP, err := rld.NewDYN(dep, dynCfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			rodP, err := rld.NewROD(dep)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return []rld.Policy{rodP, dynP, dep.NewPolicy(*batch)}
-		}
-		ctx := context.Background()
+		// happen.
 		fmt.Printf("\nlive engine: %.0fs of real tuples per policy (Pipeline sessions)\n\n", *live)
 		fmt.Printf("%-6s %13s %13s %11s %11s %10s\n",
 			"policy", "latency ms", "produced", "batches", "migrations", "events")
@@ -179,7 +189,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			rep, err := rld.Replay(ctx, pipe, makeFeed())
+			rep, err := rld.Replay(ctx, pipe, makeFeed(*live))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -189,6 +199,60 @@ func main() {
 			}
 			fmt.Printf("%-6s %13.2f %13.0f %11d %11d %10d\n",
 				rep.Policy, rep.MeanLatencyMS, rep.Produced, rep.Batches, rep.Migrations, events)
+		}
+	}
+
+	if *dist > 0 {
+		// The same policies on the multi-process network substrate: a
+		// leader embedded in the Pipeline plus one worker process per
+		// node, speaking the netrt wire protocol over local TCP.
+		distOpts := func(extra ...rld.Option) []rld.Option {
+			opts := []rld.Option{rld.WithDistributed(*nodes)}
+			if *workerBin != "" {
+				opts = append(opts, rld.WithWorkerCommand(*workerBin))
+			}
+			return append(opts, extra...)
+		}
+		runDist := func(pol rld.Policy, extra ...rld.Option) *rld.Report {
+			pipe, err := rld.Open(ctx, dep, pol, distOpts(extra...)...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := rld.Replay(ctx, pipe, makeFeed(*dist))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return rep
+		}
+		fmt.Printf("\ndistributed: %.0fs of real tuples per policy (leader + %d worker processes)\n\n", *dist, *nodes)
+		fmt.Printf("%-6s %13s %13s %11s %11s\n",
+			"policy", "latency ms", "produced", "batches", "migrations")
+		var distBase *rld.Report
+		for i, pol := range mkLive() {
+			rep := runDist(pol)
+			if i == 2 {
+				distBase = rep
+			}
+			fmt.Printf("%-6s %13.2f %13.0f %11d %11d\n",
+				rep.Policy, rep.MeanLatencyMS, rep.Produced, rep.Batches, rep.Migrations)
+		}
+		if plan != nil {
+			// The faulted RLD run: scripted crashes SIGKILL real worker
+			// processes; completeness is measured against the fault-free
+			// distributed run above and optionally gated (-mincomplete),
+			// the CI chaos smoke's assertion.
+			rep := runDist(dep.NewPolicy(*batch),
+				rld.WithFaults(plan), rld.WithHorizon(*dist))
+			complete := 0.0
+			if distBase != nil && distBase.Produced > 0 {
+				complete = rep.Produced / distBase.Produced
+			}
+			fmt.Printf("\ndistributed + faults %s\n", plan)
+			fmt.Printf("%-6s produced %.0f lost %.0f crashes %d restores %d complete %.1f%%\n",
+				rep.Policy, rep.Produced, rep.TuplesLost, rep.Crashes, rep.Restores, 100*complete)
+			if *minComplete > 0 && complete < *minComplete {
+				log.Fatalf("distributed completeness %.3f below required %.3f", complete, *minComplete)
+			}
 		}
 	}
 

@@ -1,0 +1,37 @@
+// Command rldworker is a standalone worker for RLD's distributed mode: one
+// node of a leader/worker cluster. A leader (any process that opened a
+// Pipeline with rld.WithDistributed and pointed rld.WithWorkerCommand at
+// this binary) launches one rldworker per node; each connects back over
+// TCP, receives the query and engine configuration in the handshake, owns
+// its operators' join-window state, and serves insert/stage/snapshot
+// requests until the leader says quit.
+//
+//	rldworker -leader 127.0.0.1:41234 -node 2 -epoch 1723100000000000000
+//
+// The flags are supplied by the leader; the binary is not meant to be
+// invoked by hand. It exits 0 on a clean quit and nonzero when the
+// connection is lost first — a worker never outlives its leader.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rld/internal/netrt"
+)
+
+func main() {
+	leader := flag.String("leader", "", "leader address to dial (host:port)")
+	node := flag.Int("node", -1, "this worker's node index")
+	epoch := flag.Uint64("epoch", 0, "leader epoch (handshake freshness token)")
+	flag.Parse()
+	if *leader == "" || *node < 0 {
+		fmt.Fprintln(os.Stderr, "rldworker: -leader and -node are required (this binary is launched by a distributed-mode leader)")
+		os.Exit(2)
+	}
+	if err := netrt.RunWorker(*leader, *node, *epoch); err != nil {
+		fmt.Fprintf(os.Stderr, "rldworker %d: %v\n", *node, err)
+		os.Exit(1)
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,178 +94,6 @@ type message struct {
 }
 
 var msgPool = sync.Pool{New: func() any { return new(message) }}
-
-// partialsPool recycles the partial-result slices that carry batches between
-// stages; joins grow them, so pooling the backing arrays cuts most of the
-// engine's steady-state allocation.
-var partialsPool = sync.Pool{New: func() any {
-	s := make([]*stream.Joined, 0, 256)
-	return &s
-}}
-
-func getPartials() []*stream.Joined {
-	return (*partialsPool.Get().(*[]*stream.Joined))[:0]
-}
-
-// putPooled clears a scratch slice to its full capacity and returns it to
-// the pool. Clearing must cover the capacity, not just the length: in-place
-// filtering can leave stale references beyond len, and pooled arrays must
-// not pin tuples past their window life.
-func putPooled[T any](p *sync.Pool, s *[]T) {
-	buf := (*s)[:cap(*s)]
-	var zero T
-	for i := range buf {
-		buf[i] = zero
-	}
-	*s = buf[:0]
-	p.Put(s)
-}
-
-func putPartials(s []*stream.Joined) { putPooled(&partialsPool, &s) }
-
-// shardScratch is the pooled per-batch workspace for the vectorized shard
-// paths: counting-sort arrays that group rows (inserts) or partials (probes)
-// by destination shard, per-probe match ranges, and the columnar Matches
-// buffer probe results are copied into under the shard lock. Everything is
-// index- or scalar-typed, so recycling needs no pointer clearing.
-type shardScratch struct {
-	shardOf []int32 // item → destination shard
-	starts  []int32 // shard → group start in order (len nShards+1)
-	cnt     []int32 // counting-sort cursors
-	order   []int32 // item indices grouped by shard
-	probe   []int32 // join stage: indices of partials that probe
-	mstart  []int32 // per probe: match range start in matches
-	mcount  []int32 // per probe: match count
-	matches stream.Matches
-}
-
-var scratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
-
-func getScratch() *shardScratch   { return scratchPool.Get().(*shardScratch) }
-func putScratch(sc *shardScratch) { scratchPool.Put(sc) }
-
-// grow32 returns s resized to length n (reallocating only to grow capacity).
-func grow32(s []int32, n int) []int32 {
-	if cap(s) < n {
-		return make([]int32, n)
-	}
-	return s[:n]
-}
-
-// group counting-sorts items 0..n-1 into per-shard runs using the shard
-// assignments the caller wrote to sc.shardOf[:n]. Afterwards
-// sc.order[sc.starts[s]:sc.starts[s+1]] lists shard s's items in input order.
-func (sc *shardScratch) group(n, nShards int) {
-	sc.cnt = grow32(sc.cnt, nShards)
-	for i := range sc.cnt {
-		sc.cnt[i] = 0
-	}
-	for _, sh := range sc.shardOf[:n] {
-		sc.cnt[sh]++
-	}
-	sc.starts = grow32(sc.starts, nShards+1)
-	off := int32(0)
-	for i := 0; i < nShards; i++ {
-		sc.starts[i] = off
-		off += sc.cnt[i]
-		sc.cnt[i] = sc.starts[i]
-	}
-	sc.starts[nShards] = off
-	sc.order = grow32(sc.order, n)
-	for i := 0; i < n; i++ {
-		sh := sc.shardOf[i]
-		sc.order[sc.cnt[sh]] = int32(i)
-		sc.cnt[sh]++
-	}
-}
-
-// opShard is one hash partition of a join operator's window state, guarded
-// by its own lock so concurrent inserts and probes on different keys don't
-// contend.
-type opShard struct {
-	mu     sync.Mutex
-	window *stream.Window
-}
-
-// opState is the runtime state of one operator: the sharded window plus
-// lock-free observed-selectivity counters.
-type opState struct {
-	op   query.Operator
-	span float64
-	// slot is the operator's stream slot in the engine's JoinSchema.
-	slot   int
-	shards []*opShard
-	// maxTs is the operator-wide high-water application timestamp
-	// (float64 bits): probes expire their shard against it, so a shard
-	// that rarely receives inserts cannot serve stale tuples.
-	maxTs atomic.Uint64
-	// winLen is the total buffered tuple count across shards (the "pairs
-	// examined" denominator a full-window probe would see).
-	winLen atomic.Int64
-	// in/out accumulate observed selectivity: tuples examined/passed for
-	// selections, pairs/matches for joins.
-	in  atomic.Int64
-	out atomic.Int64
-}
-
-// advanceTs lifts the operator's high-water timestamp to at least ts.
-func (s *opState) advanceTs(ts float64) {
-	bits := math.Float64bits(ts)
-	for {
-		old := s.maxTs.Load()
-		// Non-negative float64 bit patterns order like the floats.
-		if old >= bits || s.maxTs.CompareAndSwap(old, bits) {
-			return
-		}
-	}
-}
-
-// insertBatch bulk-inserts a whole batch into the operator's sharded window:
-// rows are grouped by destination shard (counting sort over the key column),
-// and each shard's lock is taken once for its whole run instead of once per
-// tuple. Deferring each shard's expiration to its run's max timestamp
-// retains exactly the set per-tuple insertion would (expiration is a prefix
-// scan, so intermediate cutoffs only evict what the final one evicts).
-func (s *opState) insertBatch(b *stream.Batch, sc *shardScratch) {
-	n := b.Len()
-	if n == 0 {
-		return
-	}
-	s.advanceTs(float64(b.MaxTs()))
-	nShards := len(s.shards)
-	mask := uint64(nShards - 1)
-	sc.shardOf = grow32(sc.shardOf, n)
-	for i := 0; i < n; i++ {
-		sc.shardOf[i] = int32(uint64(b.Key[i]) & mask)
-	}
-	sc.group(n, nShards)
-	var delta int64
-	for si := 0; si < nShards; si++ {
-		lo, hi := sc.starts[si], sc.starts[si+1]
-		if lo == hi {
-			continue
-		}
-		sh := s.shards[si]
-		sh.mu.Lock()
-		before := sh.window.Len()
-		sh.window.InsertRows(b, sc.order[lo:hi])
-		delta += int64(sh.window.Len() - before)
-		sh.mu.Unlock()
-	}
-	if delta != 0 {
-		s.winLen.Add(delta)
-	}
-}
-
-// observedSel returns the operator's observed selectivity (estimate until
-// data arrives).
-func (s *opState) observedSel() float64 {
-	in := s.in.Load()
-	if in < 32 {
-		return s.op.Sel
-	}
-	return float64(s.out.Load()) / float64(in)
-}
 
 // Results summarizes an engine run.
 type Results struct {
@@ -392,11 +219,10 @@ type Engine struct {
 	assign atomic.Pointer[physical.Assignment]
 
 	nodes []*nodeState
-	ops   []*opState
-
-	// schema maps stream names to Joined part slots for this query; it
-	// also owns the pool join results are recycled through.
-	schema *stream.JoinSchema
+	// core holds every operator's window state and the stage kernels —
+	// the node-local half shared with netrt workers (see nodecore.go). In
+	// the in-process engine all nodes share this one core.
+	core *NodeCore
 
 	pending     atomic.Int64   // in-flight messages, for Drain/backpressure
 	nodeQueued  []atomic.Int64 // per-node queued+in-service messages
@@ -500,8 +326,9 @@ func (e *Engine) internPlan(plan query.Plan) (internedPlan, bool) {
 // New builds an engine for query q with operator placement assign over
 // nNodes nodes.
 func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanChooser, cfg Config) (*Engine, error) {
-	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+	core, err := NewNodeCore(q, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if !assign.Complete() || len(assign) != len(q.Ops) {
 		return nil, fmt.Errorf("%w: incomplete", ErrBadPlacement)
@@ -511,27 +338,12 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 			return nil, fmt.Errorf("%w: references node %d of %d", ErrBadPlacement, n, nNodes)
 		}
 	}
-	if cfg.InboxSize < 1 {
-		cfg.InboxSize = 1024
-	}
-	if cfg.SelectThresholdScale <= 0 {
-		cfg.SelectThresholdScale = 100
-	}
-	if cfg.Workers < 1 {
-		cfg.Workers = stdruntime.GOMAXPROCS(0)
-	}
-	if cfg.Shards < 1 {
-		cfg.Shards = 16
-	}
-	shards := 1
-	for shards < cfg.Shards {
-		shards <<= 1
-	}
-	cfg.Shards = shards
+	cfg = core.Config()
 	e := &Engine{
 		q:          q,
 		chooser:    chooser,
 		cfg:        cfg,
+		core:       core,
 		monitor:    stats.NewMonitor(len(q.Ops), 0.5, 0),
 		planUse:    make(map[string]int64),
 		rateCount:  make(map[string]float64),
@@ -539,19 +351,8 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		stopDone:   make(chan struct{}),
 		waitCh:     make(chan struct{}),
 	}
-	if len(q.Streams) > 64 {
-		return nil, fmt.Errorf("%w: %d streams exceed the 64-stream join schema", ErrBadPlacement, len(q.Streams))
-	}
-	e.schema = stream.NewJoinSchema(q.Streams)
 	a := assign.Clone()
 	e.assign.Store(&a)
-	for i := range q.Ops {
-		st := &opState{op: q.Ops[i], span: q.WindowSeconds, slot: e.schema.Slot(q.Ops[i].Stream)}
-		for s := 0; s < cfg.Shards; s++ {
-			st.shards = append(st.shards, &opShard{window: stream.NewWindow(q.WindowSeconds)})
-		}
-		e.ops = append(e.ops, st)
-	}
 	for i := 0; i < nNodes; i++ {
 		ns := &nodeState{
 			inbox: make(chan *message, cfg.InboxSize),
@@ -648,12 +449,12 @@ func (e *Engine) wakePending() {
 	e.waitMu.Unlock()
 }
 
-// awaitPending blocks until fewer than limit messages are in flight
+// AwaitPending blocks until fewer than limit messages are in flight
 // (limit ≤ 1: until fully drained), the context ends, or closed closes —
 // returning nil, ctx.Err(), or runtime.ErrClosed respectively. Wakeups are
 // edge-triggered from the worker/sweep paths via wakePending; the
 // register-then-recheck order makes the wait lose no wakeup.
-func (e *Engine) awaitPending(ctx context.Context, limit int64, closed <-chan struct{}) error {
+func (e *Engine) AwaitPending(ctx context.Context, limit int64, closed <-chan struct{}) error {
 	if limit < 1 {
 		limit = 1
 	}
@@ -738,125 +539,12 @@ func (e *Engine) lose(msg *message) {
 	msgPool.Put(msg)
 }
 
-// process executes one stage and forwards or sinks the batch.
+// process executes one stage and forwards or sinks the batch. The stage
+// kernel itself lives in NodeCore (shared with netrt workers); process owns
+// only the forward-or-sink decision.
 func (e *Engine) process(msg *message) {
 	op := msg.plan[msg.stage]
-	st := e.ops[op]
-	var out []*stream.Joined
-	switch st.op.Kind {
-	case query.Select:
-		threshold := st.op.Sel * e.cfg.SelectThresholdScale
-		ownIn, ownOut := 0, 0
-		// Filter in place: the write index never passes the read index.
-		out = msg.partials[:0]
-		for _, p := range msg.partials {
-			v, ok := p.Val(st.slot, 0)
-			if !ok {
-				// Pass-through: the predicate applies to another
-				// stream's tuples.
-				out = append(out, p)
-				continue
-			}
-			ownIn++
-			if v < threshold {
-				out = append(out, p)
-				ownOut++
-			} else {
-				p.Release()
-			}
-		}
-		// Selections report the pass fraction over their own stream's
-		// tuples only; pass-throughs would dilute the signal the
-		// classifier needs.
-		st.in.Add(int64(ownIn))
-		st.out.Add(int64(ownOut))
-	case query.Join:
-		out = getPartials()
-		sc := getScratch()
-		// Split the batch: partials already carrying this operator's
-		// stream pass through; the rest probe its window.
-		sc.probe = sc.probe[:0]
-		for i := range msg.partials {
-			if msg.partials[i].Has(st.slot) {
-				// Probing the operator of the batch's own stream:
-				// trivially satisfied.
-				out = append(out, msg.partials[i])
-				continue
-			}
-			sc.probe = append(sc.probe, int32(i))
-		}
-		var pairs, hits int64
-		if np := len(sc.probe); np > 0 {
-			// Vectorized probe: hash the whole key set up front, group
-			// probes by destination shard, and take each shard lock once
-			// per batch — expiring the shard against the operator-wide
-			// high-water timestamp, then copying every probe's matches
-			// into the columnar scratch. (Per-shard windows only see
-			// their own inserts, so without the expire a cold shard
-			// would answer probes with tuples far older than the span.)
-			nShards := len(st.shards)
-			mask := uint64(nShards - 1)
-			sc.shardOf = grow32(sc.shardOf, np)
-			for k, pi := range sc.probe {
-				sc.shardOf[k] = int32(uint64(msg.partials[pi].Key()) & mask)
-			}
-			sc.group(np, nShards)
-			sc.matches.Reset()
-			sc.mstart = grow32(sc.mstart, np)
-			sc.mcount = grow32(sc.mcount, np)
-			cutoff := stream.Time(math.Float64frombits(st.maxTs.Load()) - st.span)
-			var delta int64
-			for si := 0; si < nShards; si++ {
-				lo, hi := sc.starts[si], sc.starts[si+1]
-				if lo == hi {
-					continue
-				}
-				sh := st.shards[si]
-				sh.mu.Lock()
-				before := sh.window.Len()
-				sh.window.ExpireBefore(cutoff)
-				delta += int64(sh.window.Len() - before)
-				for oi := lo; oi < hi; oi++ {
-					k := sc.order[oi]
-					ms := sc.matches.Len()
-					sh.window.AppendMatches(msg.partials[sc.probe[k]].Key(), &sc.matches)
-					sc.mstart[k] = int32(ms)
-					sc.mcount[k] = int32(sc.matches.Len() - ms)
-				}
-				sh.mu.Unlock()
-			}
-			if delta != 0 {
-				st.winLen.Add(delta)
-			}
-			// Build extensions outside every lock, in the partials'
-			// original order; consumed partials are recycled.
-			winTotal := st.winLen.Load()
-			for k, pi := range sc.probe {
-				p := msg.partials[pi]
-				pairs += winTotal
-				n := int(sc.mcount[k])
-				hits += int64(n)
-				if e.cfg.MaxFanout > 0 && n > e.cfg.MaxFanout {
-					n = e.cfg.MaxFanout
-				}
-				base := int(sc.mstart[k])
-				key := p.Key()
-				for mi := base; mi < base+n; mi++ {
-					out = append(out, p.CloneWith(st.slot, sc.matches.Seq[mi], sc.matches.Ts[mi], key, sc.matches.Arr[mi], sc.matches.ValsAt(mi)))
-				}
-				p.Release()
-			}
-		}
-		putScratch(sc)
-		// Joins report the per-pair match probability (hits over pairs
-		// examined) rather than raw fanout, so observed selectivities
-		// stay in [0,1] and remain comparable with the optimizer's
-		// estimates.
-		st.in.Add(pairs)
-		st.out.Add(hits)
-		// The join produced a fresh slice; recycle the inbound one.
-		putPartials(msg.partials)
-	}
+	out := e.core.runStage(op, msg.partials)
 	msg.partials = out
 
 	if len(out) == 0 || msg.stage == len(msg.plan)-1 {
@@ -954,19 +642,15 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 	// Bulk-insert into the windows of join ops over this stream, one shard
 	// lock per shard per batch.
 	sc := getScratch()
-	for _, st := range e.ops {
-		if st.op.Kind == query.Join && st.op.Stream == b.Stream {
-			st.insertBatch(b, sc)
-		}
-	}
+	e.core.insertStream(b, sc)
 	putScratch(sc)
 
 	// Seed one pooled singleton partial per tuple; the columns are copied,
 	// so the caller may reuse or Release b once Ingest returns.
-	slot := e.schema.Slot(b.Stream)
+	slot := e.core.schema.Slot(b.Stream)
 	partials := getPartials()
 	for i := 0; i < n; i++ {
-		j := e.schema.Acquire()
+		j := e.core.schema.Acquire()
 		j.SetPart(slot, b.Seq[i], b.Ts[i], b.Key[i], b.Arr[i], b.ValsAt(i))
 		partials = append(partials, j)
 	}
@@ -990,10 +674,7 @@ func (e *Engine) offerStats(force bool) {
 	if !force && e.statBatches.Add(1)%statsEvery != 1 {
 		return
 	}
-	sels := make([]float64, len(e.ops))
-	for i, st := range e.ops {
-		sels[i] = st.observedSel()
-	}
+	sels := e.core.ObservedSels()
 	e.mu.Lock()
 	rates := make(map[string]float64, len(e.rateCount))
 	for k, v := range e.rateCount {
@@ -1069,6 +750,14 @@ func (e *Engine) Counters() Counters {
 func (e *Engine) Assignment() physical.Assignment {
 	return (*e.assign.Load()).Clone()
 }
+
+// Nodes returns the cluster size.
+func (e *Engine) Nodes() int { return len(e.nodes) }
+
+// SetChooser installs the per-batch plan chooser. It must be called before
+// Start (sessions install their policy-backed chooser between New and
+// Start); there is no synchronization against concurrent Ingest.
+func (e *Engine) SetChooser(c PlanChooser) { e.chooser = c }
 
 // Migrate reroutes one operator to another node by swapping the routing
 // table. The engine's operator state is shared memory, so the "migration"
@@ -1194,7 +883,7 @@ func (e *Engine) Recover(node int) error {
 	// the engine's state is shared memory, see Migrate).
 	assign := *e.assign.Load()
 	for op, n := range assign {
-		if n != node || e.ops[op].op.Kind != query.Join {
+		if n != node || e.core.ops[op].op.Kind != query.Join {
 			continue
 		}
 		if mode == chaos.Checkpoint {
@@ -1202,7 +891,7 @@ func (e *Engine) Recover(node int) error {
 				e.restores.Add(1)
 			}
 		} else {
-			e.clearOp(op)
+			e.core.ClearOp(op)
 		}
 	}
 	// Fresh pool against a fresh quit channel, honoring any slowdown
@@ -1271,35 +960,13 @@ func (e *Engine) activeWorkers(factor float64) int32 {
 // latest snapshot is what Checkpoint-mode recovery restores. The executor
 // calls it on a periodic virtual-time cadence (FaultPlan.SnapshotEvery).
 func (e *Engine) Checkpoint() {
-	snaps := make([]*stream.Batch, len(e.ops))
-	for i, st := range e.ops {
-		if st.op.Kind != query.Join {
-			continue
-		}
-		b := stream.NewBatch(st.op.Stream)
-		for _, sh := range st.shards {
-			sh.mu.Lock()
-			sh.window.Snapshot(b)
-			sh.mu.Unlock()
-		}
-		snaps[i] = b
+	snaps := make([]*stream.Batch, e.core.NumOps())
+	for i := range snaps {
+		snaps[i] = e.core.SnapshotOp(i)
 	}
 	e.snapMu.Lock()
 	e.snaps = snaps
 	e.snapMu.Unlock()
-}
-
-// clearOp discards an operator's window state (LoseState recovery).
-func (e *Engine) clearOp(op int) {
-	st := e.ops[op]
-	total := 0
-	for _, sh := range st.shards {
-		sh.mu.Lock()
-		total += sh.window.Len()
-		sh.window.Reset()
-		sh.mu.Unlock()
-	}
-	st.winLen.Add(int64(-total))
 }
 
 // restoreOp replaces an operator's window state with the latest
@@ -1314,12 +981,7 @@ func (e *Engine) restoreOp(op int) bool {
 		snap = e.snaps[op]
 	}
 	e.snapMu.Unlock()
-	e.clearOp(op)
-	if snap != nil {
-		sc := getScratch()
-		e.ops[op].insertBatch(snap, sc)
-		putScratch(sc)
-	}
+	e.core.RestoreOp(op, snap)
 	return taken
 }
 
@@ -1349,7 +1011,7 @@ func (e *Engine) NodeLoads() []float64 {
 // event-driven: workers signal every pending-count decrement, so Drain
 // wakes as the last message sinks instead of polling.
 func (e *Engine) Drain() {
-	e.awaitPending(context.Background(), 1, nil)
+	e.AwaitPending(context.Background(), 1, nil)
 }
 
 // Stop drains, shuts down the workers, and returns the run's results. A

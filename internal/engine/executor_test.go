@@ -19,7 +19,7 @@ func TestEngineShardsRoundedToPowerOfTwo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(e.ops[0].shards); got != 8 {
+	if got := len(e.core.ops[0].shards); got != 8 {
 		t.Fatalf("shards = %d, want 8", got)
 	}
 }

@@ -9,11 +9,68 @@ import (
 	"time"
 
 	"rld/internal/chaos"
+	"rld/internal/physical"
 	"rld/internal/query"
 	"rld/internal/runtime"
 	"rld/internal/stats"
 	"rld/internal/stream"
 )
+
+// Backend is the execution substrate a Session drives: the in-process
+// Engine, or any stand-in that executes batches across a set of nodes
+// with the same failure lifecycle (netrt's multi-process Cluster). The
+// session protocol — virtual clock, control ticks, scripted faults,
+// checkpoints, backpressure, result/event delivery — is written entirely
+// against this interface, so every substrate gets it verbatim.
+type Backend interface {
+	// Start launches the backend's execution resources; SetChooser,
+	// SetTimeSource, and SetResultObserver are called before it.
+	Start()
+	// Stop drains, shuts the backend down, and reports the run. It must
+	// be idempotent in the Engine's sense: a loser of a Stop race waits
+	// for the winner and returns fully-drained results.
+	Stop() Results
+	// Ingest admits one batch (never blocking; callers pace through
+	// Pending/AwaitPending). The batch's columns are copied, so the
+	// caller may reuse it on return.
+	Ingest(b *stream.Batch) error
+	// Pending returns the in-flight message count backpressure bounds.
+	Pending() int64
+	// AwaitPending blocks until fewer than limit messages are in flight,
+	// ctx ends, or closed closes (see Engine.AwaitPending).
+	AwaitPending(ctx context.Context, limit int64, closed <-chan struct{}) error
+	// Drain blocks until all in-flight messages are processed.
+	Drain()
+	// Counters is a cheap live snapshot for Stats polling.
+	Counters() Counters
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Assignment returns a copy of the live routing table.
+	Assignment() physical.Assignment
+	// NodeLoads returns per-node load (runtime.DownLoad for crashed nodes).
+	NodeLoads() []float64
+	// Migrate reroutes one operator to another node.
+	Migrate(op, node int) error
+	// Crash takes a node down under the given recovery mode; Recover
+	// brings it back. On the Engine these kill/rebuild goroutine pools;
+	// on netrt Crash is a literal SIGKILL of the worker process and
+	// Recover a respawn with checkpoint restore.
+	Crash(node int, mode chaos.RecoveryMode) error
+	Recover(node int) error
+	// SetSlowdown runs a node at the given capacity factor (1 = full).
+	SetSlowdown(node int, factor float64) error
+	// Checkpoint snapshots every join operator's window state; the latest
+	// snapshot is what Checkpoint-mode recovery restores.
+	Checkpoint()
+	// SetChooser installs the per-batch plan chooser (before Start).
+	SetChooser(c PlanChooser)
+	// SetTimeSource installs the virtual clock for stats stamping.
+	SetTimeSource(fn func() float64)
+	// SetResultObserver taps every non-empty sink emission.
+	SetResultObserver(obs func(tuples []*stream.Joined, ingress time.Time))
+}
+
+var _ Backend = (*Engine)(nil)
 
 // SessionOptions configures an engine session.
 type SessionOptions struct {
@@ -55,11 +112,12 @@ type SessionOptions struct {
 // lock and run Engine.Ingest in parallel, so ingest throughput scales
 // with producer count instead of funneling through one mutex.
 type Session struct {
-	e    *Engine
-	q    *query.Query
-	opts SessionOptions
-	tick float64
-	mode chaos.RecoveryMode
+	e         Backend
+	substrate string
+	q         *query.Query
+	opts      SessionOptions
+	tick      float64
+	mode      chaos.RecoveryMode
 
 	maxPending int64
 	start      time.Time
@@ -120,10 +178,33 @@ func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOpt
 	if pol == nil {
 		return nil, fmt.Errorf("engine: session needs a policy")
 	}
-	if err := opts.Faults.Validate(nNodes); err != nil {
+	e, err := New(q, pol.Placement(), nNodes, nil, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSessionOn(e, q, "engine", pol, opts)
+}
+
+// OpenSessionOn runs the full session protocol over an already-constructed
+// Backend: netrt opens its multi-process Cluster and hands it here, so the
+// wire substrate inherits the virtual clock, tick/fault/checkpoint edges,
+// backpressure, and result/event plumbing verbatim. The backend must not
+// be started; the session installs its chooser, clock, and result tap,
+// then starts it. On error the backend is left unstarted — the caller owns
+// its teardown.
+func OpenSessionOn(b Backend, q *query.Query, substrate string, pol runtime.Policy, opts SessionOptions) (*Session, error) {
+	if b == nil || q == nil {
+		return nil, fmt.Errorf("engine: session needs a backend and a query")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("engine: session needs a policy")
+	}
+	if err := opts.Faults.Validate(b.Nodes()); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	s := &Session{
+		e:          b,
+		substrate:  substrate,
 		q:          q,
 		opts:       opts,
 		tick:       opts.TickEvery,
@@ -153,11 +234,11 @@ func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOpt
 		evBuf = 64
 	}
 	s.events = make(chan runtime.Event, evBuf)
-	// The chooser runs synchronously inside Engine.Ingest, possibly from
+	// The chooser runs synchronously inside Backend.Ingest, possibly from
 	// many producers at once; polMu serializes the policy call and the
 	// plan-switch tracking, honoring the Policy contract's serial-caller
 	// promise.
-	chooser := ChooserFunc(func(snap stats.Snapshot) query.Plan {
+	b.SetChooser(ChooserFunc(func(snap stats.Snapshot) query.Plan {
 		s.polMu.Lock()
 		defer s.polMu.Unlock()
 		plan := s.pol.PlanFor(s.now(), snap)
@@ -170,23 +251,18 @@ func OpenSession(q *query.Query, nNodes int, pol runtime.Policy, opts SessionOpt
 			}
 		}
 		return plan
-	})
-	e, err := New(q, pol.Placement(), nNodes, chooser, opts.Config)
-	if err != nil {
-		return nil, err
-	}
-	s.e = e
-	e.SetTimeSource(s.now)
+	}))
+	b.SetTimeSource(s.now)
 	if opts.ResultBuffer > 0 {
 		s.results = make(chan runtime.ResultBatch, opts.ResultBuffer)
-		e.SetResultObserver(s.observeResult)
+		b.SetResultObserver(s.observeResult)
 	}
-	e.Start()
+	b.Start()
 	return s, nil
 }
 
 // Substrate implements runtime.Session.
-func (s *Session) Substrate() string { return "engine" }
+func (s *Session) Substrate() string { return s.substrate }
 
 // Results implements runtime.Session.
 func (s *Session) Results() <-chan runtime.ResultBatch { return s.results }
@@ -405,7 +481,7 @@ func (s *Session) Ingest(ctx context.Context, b *stream.Batch) error {
 		if s.ready() {
 			return s.ingest(b)
 		}
-		if err := s.e.awaitPending(ctx, s.maxPending, s.closeCh); err != nil {
+		if err := s.e.AwaitPending(ctx, s.maxPending, s.closeCh); err != nil {
 			return err
 		}
 	}
@@ -522,7 +598,7 @@ func (s *Session) Stats() runtime.SessionStats {
 	s.polMu.Unlock()
 	return runtime.SessionStats{
 		Policy:         polName,
-		Substrate:      "engine",
+		Substrate:      s.substrate,
 		VirtualTime:    now,
 		Ingested:       float64(c.Ingested),
 		Produced:       float64(c.Produced),
@@ -585,7 +661,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 		s.polMu.Unlock()
 		rep := &runtime.Report{
 			Policy:            pol.Name(),
-			Substrate:         "engine",
+			Substrate:         s.substrate,
 			Ingested:          float64(res.Ingested),
 			Produced:          float64(res.Produced),
 			Batches:           res.Batches,
@@ -614,7 +690,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 	// Context-aware drain: Stop would drain unconditionally, so wait here
 	// where the deadline can interrupt. Event-driven — the last sinking
 	// message wakes this immediately.
-	if err := s.e.awaitPending(ctx, 1, nil); err != nil {
+	if err := s.e.AwaitPending(ctx, 1, nil); err != nil {
 		go finish()
 		return nil, err
 	}

@@ -1,0 +1,1416 @@
+package netrt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rld/internal/chaos"
+	"rld/internal/engine"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/runtime"
+	"rld/internal/stats"
+	"rld/internal/stream"
+)
+
+// ClusterConfig tunes the leader.
+type ClusterConfig struct {
+	// Engine is the operator-state configuration shipped to every worker
+	// (threshold scale, fanout cap, shards); InboxSize doubles as the
+	// initial per-node job-queue capacity.
+	Engine engine.Config
+	// WorkerCommand, when non-empty, is the argv prefix used to launch
+	// worker processes (it receives -leader/-node/-epoch flags) — the
+	// cmd/rldworker binary in CI. Empty re-execs the current binary with
+	// RLD_NETRT_WORKER set, which MaybeWorker intercepts.
+	WorkerCommand []string
+	// ListenAddr is the leader's listen address (default "127.0.0.1:0").
+	ListenAddr string
+	// HeartbeatEvery is the liveness-probe period (default 500ms).
+	HeartbeatEvery time.Duration
+	// CallTimeout bounds every worker RPC; a worker that does not answer
+	// within it is treated as dead, so a hung process degrades to a
+	// detected crash instead of a stuck pipeline (default 60s).
+	CallTimeout time.Duration
+	// StartupTimeout bounds worker spawn + handshake (default 30s).
+	StartupTimeout time.Duration
+	// MaxStageChunk is the soft bound on one stage frame's partials
+	// payload in bytes (default DefaultStageChunk). Larger hops are split
+	// across multiple frames in both directions, so join fanout can grow a
+	// logical hop past MaxFrame without poisoning the connection.
+	MaxStageChunk int
+}
+
+func (cfg ClusterConfig) withDefaults() ClusterConfig {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 60 * time.Second
+	}
+	if cfg.StartupTimeout <= 0 {
+		cfg.StartupTimeout = 30 * time.Second
+	}
+	if cfg.MaxStageChunk <= 0 {
+		cfg.MaxStageChunk = DefaultStageChunk
+	}
+	return cfg
+}
+
+// netMsg is one batch at one pipeline stage, held leader-side between hops.
+type netMsg struct {
+	partials []*stream.Joined
+	plan     query.Plan
+	stage    int
+	ingress  time.Time
+}
+
+// workerProc is the leader's view of one worker process: its OS process,
+// connection, job queue, and failure state.
+type workerProc struct {
+	node int
+
+	// callMu serializes RPC use of the connection (one request/response
+	// in flight per worker, matching the worker's single-threaded loop).
+	callMu sync.Mutex
+
+	mu sync.Mutex // guards everything below
+	// gen increments on every (re)spawn; stale exit/error handlers carry
+	// the gen they observed so they cannot take down a respawned worker.
+	gen      uint64
+	cmd      interface{ Kill() error }
+	procDone <-chan struct{}
+	wc       *wireConn
+	down     bool
+	mode     chaos.RecoveryMode
+	parked   []*netMsg
+	// jobs[head:] is the node's FIFO work queue — unbounded, like the
+	// engine's inbox+overflow pair collapsed into one ring, so a
+	// dispatcher forwarding to a saturated peer can never deadlock.
+	jobs   []*netMsg
+	head   int
+	notify chan struct{} // 1-buffered doorbell for the dispatcher
+	quit   chan struct{} // closes to stop the dispatcher
+	slow   float64       // capacity factor in (0,1]
+}
+
+// procKiller adapts *os.Process to the killable interface (test seam).
+type procKiller struct{ p *os.Process }
+
+func (k procKiller) Kill() error { return k.p.Kill() }
+
+// acceptedConn is one handshaken worker connection delivered by the accept
+// loop to whoever is waiting (NewCluster's collector or Recover).
+type acceptedConn struct {
+	node int
+	wc   *wireConn
+}
+
+// Cluster is the leader: the multi-process implementation of
+// engine.Backend. Each node is a worker process owning its operators'
+// window state (an engine.NodeCore behind the wire protocol); the leader
+// owns routing, placement, classification, statistics, checkpoints, and
+// the failure lifecycle. engine.OpenSessionOn layers the full session
+// protocol — virtual clock, ticks, faults, backpressure — on top, so
+// RLD/ROD/DYN run unchanged over real processes.
+type Cluster struct {
+	q    *query.Query
+	cfg  ClusterConfig
+	ecfg engine.Config
+
+	// core is leader-side operator metadata only: the join schema (and
+	// its result pool) plus validated, normalized config. Its windows are
+	// never inserted into — all window state lives in the workers.
+	core    *engine.NodeCore
+	chooser engine.PlanChooser
+	monitor *stats.Monitor
+
+	assign  atomic.Pointer[physical.Assignment]
+	workers []*workerProc
+	epoch   uint64
+	setup   []byte // marshaled Welcome payload
+	ln      net.Listener
+
+	connCh    chan acceptedConn
+	earlyDead chan int
+
+	pending     atomic.Int64
+	nodeQueued  []atomic.Int64
+	produced    atomic.Int64
+	latencyNano atomic.Int64
+	statBatches atomic.Int64
+	lost        atomic.Int64
+	restores    atomic.Int64
+	crashes     atomic.Int64
+	downCount   atomic.Int32
+
+	// selIn/selOut cache each operator's cumulative observed-selectivity
+	// counters as last reported by its worker on stage replies.
+	selIn  []atomic.Int64
+	selOut []atomic.Int64
+
+	resultObs  atomic.Pointer[func(tuples []*stream.Joined, ingress time.Time)]
+	snapCache  atomic.Pointer[stats.Snapshot]
+	timeSource atomic.Pointer[func() float64]
+
+	// waitCh/waitMu/waiters: event-driven pending notifier (see
+	// Engine.AwaitPending; identical protocol).
+	waitMu  sync.Mutex
+	waitCh  chan struct{}
+	waiters atomic.Int32
+
+	snapMu sync.Mutex
+	snaps  []*stream.Batch
+
+	hbQuit chan struct{}
+	hbDone chan struct{}
+
+	sendMu   sync.RWMutex
+	stopDone chan struct{}
+
+	mu        sync.Mutex
+	ingested  int64
+	batches   int64
+	planUse   map[string]int64
+	switches  int
+	lastKey   string
+	rateCount map[string]float64
+	started   bool
+	stopped   bool
+	plans     []internedPlan
+}
+
+type internedPlan struct {
+	plan query.Plan
+	key  string
+}
+
+const maxInterned = 1024
+
+var _ engine.Backend = (*Cluster)(nil)
+
+// NewCluster spawns nNodes worker processes, waits for their handshakes,
+// and returns a leader ready for engine.OpenSessionOn. On error everything
+// spawned is torn down. The cluster is not started — Start launches the
+// dispatchers and heartbeat.
+func NewCluster(q *query.Query, assign physical.Assignment, nNodes int, cfg ClusterConfig) (*Cluster, error) {
+	core, err := engine.NewNodeCore(q, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if !assign.Complete() || len(assign) != len(q.Ops) {
+		return nil, fmt.Errorf("%w: incomplete", engine.ErrBadPlacement)
+	}
+	for _, n := range assign {
+		if n < 0 || n >= nNodes {
+			return nil, fmt.Errorf("%w: references node %d of %d", engine.ErrBadPlacement, n, nNodes)
+		}
+	}
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		q:          q,
+		cfg:        cfg,
+		ecfg:       core.Config(),
+		core:       core,
+		monitor:    stats.NewMonitor(len(q.Ops), 0.5, 0),
+		epoch:      uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid()&0xff),
+		connCh:     make(chan acceptedConn, nNodes),
+		earlyDead:  make(chan int, nNodes),
+		nodeQueued: make([]atomic.Int64, nNodes),
+		selIn:      make([]atomic.Int64, len(q.Ops)),
+		selOut:     make([]atomic.Int64, len(q.Ops)),
+		waitCh:     make(chan struct{}),
+		hbQuit:     make(chan struct{}),
+		hbDone:     make(chan struct{}),
+		stopDone:   make(chan struct{}),
+		planUse:    make(map[string]int64),
+		rateCount:  make(map[string]float64),
+	}
+	c.setup, err = json.Marshal(setupMsg{Query: q, Config: c.ecfg, StageChunk: cfg.MaxStageChunk})
+	if err != nil {
+		return nil, fmt.Errorf("netrt: marshal setup: %w", err)
+	}
+	a := assign.Clone()
+	c.assign.Store(&a)
+	c.refreshSnap()
+	c.ln, err = net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netrt: listen: %w", err)
+	}
+	go c.acceptLoop()
+	for i := 0; i < nNodes; i++ {
+		c.workers = append(c.workers, &workerProc{
+			node:   i,
+			slow:   1,
+			notify: make(chan struct{}, 1),
+			quit:   make(chan struct{}),
+		})
+	}
+	for i := 0; i < nNodes; i++ {
+		if err := c.spawnInto(c.workers[i]); err != nil {
+			c.teardown()
+			return nil, err
+		}
+	}
+	// Collect every worker's handshake; any premature exit fails startup
+	// immediately instead of waiting out the timeout.
+	deadline := time.After(cfg.StartupTimeout)
+	have := 0
+	for have < nNodes {
+		select {
+		case ac := <-c.connCh:
+			wp := c.workers[ac.node]
+			wp.mu.Lock()
+			if wp.wc != nil {
+				wp.mu.Unlock()
+				ac.wc.Close()
+				continue
+			}
+			wp.wc = ac.wc
+			wp.mu.Unlock()
+			have++
+		case node := <-c.earlyDead:
+			c.teardown()
+			return nil, fmt.Errorf("netrt: worker %d exited during startup", node)
+		case <-deadline:
+			c.teardown()
+			return nil, fmt.Errorf("netrt: timed out waiting for %d of %d worker handshakes", nNodes-have, nNodes)
+		}
+	}
+	return c, nil
+}
+
+// Addr returns the leader's listen address (tests dial it directly to
+// exercise handshake rejection).
+func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+// spawnInto launches a fresh worker process for wp's node, bumping its
+// generation. Caller guarantees no dispatcher is running against wp.
+func (c *Cluster) spawnInto(wp *workerProc) error {
+	wp.mu.Lock()
+	wp.gen++
+	gen := wp.gen
+	wp.mu.Unlock()
+	node := wp.node
+	cmd, done, err := spawnWorker(c.cfg.WorkerCommand, c.Addr(), node, c.epoch, func() {
+		c.onWorkerExit(node, gen)
+	})
+	if err != nil {
+		return err
+	}
+	wp.mu.Lock()
+	wp.cmd = procKiller{p: cmd.Process}
+	wp.procDone = done
+	wp.mu.Unlock()
+	return nil
+}
+
+// acceptLoop admits worker connections until the listener closes. Each
+// connection is handshaken on its own goroutine so one stale or hostile
+// dialer cannot block real workers.
+func (c *Cluster) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handshake(conn)
+	}
+}
+
+// handshake validates one inbound Hello. Every rejection is answered with
+// a typed error frame before closing: a worker from a previous leader
+// incarnation (stale epoch), a version-skewed worker, or garbage each get
+// a precise refusal instead of a hang.
+func (c *Cluster) handshake(conn net.Conn) {
+	wc := newWireConn(conn)
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	t, payload, err := wc.readFrame()
+	if err != nil {
+		wc.writeError(err)
+		wc.Close()
+		return
+	}
+	if t != frameHello {
+		wc.writeError(fmt.Errorf("%w: expected hello, got frame %d", ErrBadFrame, t))
+		wc.Close()
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		wc.writeError(err)
+		wc.Close()
+		return
+	}
+	if h.epoch != c.epoch {
+		wc.writeError(fmt.Errorf("%w: worker epoch %d, leader epoch %d", ErrStaleEpoch, h.epoch, c.epoch))
+		wc.Close()
+		return
+	}
+	if h.node < 0 || h.node >= len(c.workers) {
+		wc.writeError(fmt.Errorf("%w: node %d out of range", ErrBadFrame, h.node))
+		wc.Close()
+		return
+	}
+	if err := wc.writeFrame(frameWelcome, c.setup); err != nil {
+		wc.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	select {
+	case c.connCh <- acceptedConn{node: h.node, wc: wc}:
+	default:
+		wc.Close()
+	}
+}
+
+// teardown kills every spawned process and closes the listener — the
+// NewCluster error path and the never-started Stop path.
+func (c *Cluster) teardown() {
+	for _, wp := range c.workers {
+		wp.mu.Lock()
+		cmd, done, wc := wp.cmd, wp.procDone, wp.wc
+		wp.mu.Unlock()
+		if wc != nil {
+			wc.Close()
+		}
+		if cmd != nil {
+			_ = cmd.Kill()
+		}
+		if done != nil {
+			<-done
+		}
+	}
+	c.ln.Close()
+}
+
+// Start implements engine.Backend: launches the per-node dispatchers and
+// the heartbeat. The chooser, time source, and result observer are already
+// installed by the session.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, wp := range c.workers {
+		go c.dispatcher(wp, wp.quit)
+	}
+	go c.heartbeatLoop()
+}
+
+// heartbeatLoop pings every live worker on a period; a worker that cannot
+// answer (dead process, broken pipe, hung loop past the call timeout) is
+// marked down exactly as an unexpected process exit would be.
+func (c *Cluster) heartbeatLoop() {
+	defer close(c.hbDone)
+	tick := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.hbQuit:
+			return
+		case <-tick.C:
+		}
+		for _, wp := range c.workers {
+			wp.mu.Lock()
+			down := wp.down
+			wp.mu.Unlock()
+			if down {
+				continue
+			}
+			t, _, gen, err := c.call(wp, framePing, nil)
+			if err == nil && t != framePong {
+				err = fmt.Errorf("%w: want pong, got frame %d", ErrBadFrame, t)
+			}
+			if err != nil && !isDownErr(err) {
+				c.markDown(wp, gen, chaos.Checkpoint)
+			}
+		}
+	}
+}
+
+func isDownErr(err error) bool { return err == ErrWorkerDown }
+
+// onWorkerExit runs when a worker process is reaped. An exit the leader
+// did not cause (no Crash, no Quit) is a real failure: the node is marked
+// down in Checkpoint mode, parking its work for a scripted or manual
+// Recover.
+func (c *Cluster) onWorkerExit(node int, gen uint64) {
+	c.mu.Lock()
+	started, stopped := c.started, c.stopped
+	c.mu.Unlock()
+	if stopped {
+		return
+	}
+	if !started {
+		select {
+		case c.earlyDead <- node:
+		default:
+		}
+		return
+	}
+	c.markDown(c.workers[node], gen, chaos.Checkpoint)
+}
+
+// markDown transitions a worker to the down state: kill whatever is left
+// of the process, sever the connection, stop the dispatcher, and sweep the
+// queue (parking under Checkpoint, destroying under LoseState). gen fences
+// stale failure reports: a handler that observed generation g cannot take
+// down the generation-g+1 respawn. Idempotent per generation.
+func (c *Cluster) markDown(wp *workerProc, gen uint64, mode chaos.RecoveryMode) {
+	wp.mu.Lock()
+	if wp.down || wp.gen != gen {
+		wp.mu.Unlock()
+		return
+	}
+	wp.down = true
+	wp.mode = mode
+	quit, wc, cmd, done := wp.quit, wp.wc, wp.cmd, wp.procDone
+	wp.wc = nil
+	wp.mu.Unlock()
+	c.downCount.Add(1)
+	close(quit)
+	if wc != nil {
+		wc.Close()
+	}
+	if cmd != nil {
+		_ = cmd.Kill()
+	}
+	if done != nil {
+		<-done
+	}
+	c.sweep(wp)
+}
+
+// sweep empties a down worker's job queue, parking or destroying the
+// backlog and keeping the pending count honest (parked work must not hold
+// up Drain through an outage).
+func (c *Cluster) sweep(wp *workerProc) {
+	wp.mu.Lock()
+	backlog := append([]*netMsg(nil), wp.jobs[wp.head:]...)
+	wp.jobs = nil
+	wp.head = 0
+	park := wp.mode == chaos.Checkpoint
+	if park {
+		wp.parked = append(wp.parked, backlog...)
+	}
+	wp.mu.Unlock()
+	for _, m := range backlog {
+		c.nodeQueued[wp.node].Add(-1)
+		c.pending.Add(-1)
+		if !park {
+			c.lose(m)
+		}
+	}
+	if len(backlog) > 0 {
+		c.wakePending()
+	}
+}
+
+// lose destroys a message, accounting its partials as lost tuples.
+func (c *Cluster) lose(m *netMsg) {
+	c.lost.Add(int64(len(m.partials)))
+	c.core.ReleasePartials(m.partials)
+	m.partials = nil
+}
+
+// send routes a message to the worker hosting its current stage's
+// operator: enqueued FIFO for a live node, parked (Checkpoint) or
+// destroyed (LoseState) for a down one. The down check and the enqueue
+// share wp.mu, so no message slips into a swept queue.
+func (c *Cluster) send(m *netMsg) {
+	op := m.plan[m.stage]
+	node := (*c.assign.Load())[op]
+	wp := c.workers[node]
+	wp.mu.Lock()
+	if wp.down {
+		if wp.mode == chaos.Checkpoint {
+			wp.parked = append(wp.parked, m)
+			wp.mu.Unlock()
+			return
+		}
+		wp.mu.Unlock()
+		c.lose(m)
+		return
+	}
+	c.pending.Add(1)
+	c.nodeQueued[node].Add(1)
+	wp.jobs = append(wp.jobs, m)
+	select {
+	case wp.notify <- struct{}{}:
+	default:
+	}
+	wp.mu.Unlock()
+}
+
+// pop takes the next job FIFO, blocking on the doorbell until work arrives
+// or quit closes (then nil). A closed quit with work still queued keeps
+// returning jobs — markDown's sweep, not pop, decides their fate.
+func (wp *workerProc) pop(quit <-chan struct{}) *netMsg {
+	for {
+		wp.mu.Lock()
+		if wp.head < len(wp.jobs) {
+			m := wp.jobs[wp.head]
+			wp.jobs[wp.head] = nil
+			wp.head++
+			if wp.head == len(wp.jobs) {
+				wp.jobs = wp.jobs[:0]
+				wp.head = 0
+			}
+			wp.mu.Unlock()
+			return m
+		}
+		wp.mu.Unlock()
+		select {
+		case <-quit:
+			return nil
+		case <-wp.notify:
+		}
+	}
+}
+
+// dispatcher drains one worker's queue: each job is one stage RPC, then
+// forward or sink. One dispatcher per node preserves per-stage FIFO order,
+// exactly like the engine's per-node inbox.
+func (c *Cluster) dispatcher(wp *workerProc, quit <-chan struct{}) {
+	for {
+		m := wp.pop(quit)
+		if m == nil {
+			return
+		}
+		c.runHop(wp, m)
+	}
+}
+
+// runHop executes one pipeline stage of m on wp's worker. The counter
+// dance mirrors the engine's worker loop: forward (re-incrementing
+// pending) before decrementing this hop, so pending never transiently hits
+// zero under a live message.
+func (c *Cluster) runHop(wp *workerProc, m *netMsg) {
+	op := m.plan[m.stage]
+	start := time.Now()
+	out, selIn, selOut, gen, err := c.callStage(wp, op, m.partials)
+	if err != nil {
+		if !isDownErr(err) {
+			c.markDown(wp, gen, chaos.Checkpoint)
+		}
+		// The worker died under this hop. Its partials are still whole
+		// leader-side; park or destroy them like any queued message.
+		wp.mu.Lock()
+		park := wp.mode == chaos.Checkpoint
+		if park {
+			wp.parked = append(wp.parked, m)
+		}
+		wp.mu.Unlock()
+		if !park {
+			c.lose(m)
+		}
+		c.nodeQueued[wp.node].Add(-1)
+		c.pending.Add(-1)
+		c.wakePending()
+		return
+	}
+	c.core.ReleasePartials(m.partials)
+	c.selIn[op].Store(selIn)
+	c.selOut[op].Store(selOut)
+	m.partials = out
+
+	// Transient slowdown: stretch each hop's service time by the
+	// capacity factor, the process-level analogue of pausing part of the
+	// engine's worker pool.
+	wp.mu.Lock()
+	slow := wp.slow
+	wp.mu.Unlock()
+	if slow > 0 && slow < 1 {
+		time.Sleep(time.Duration(float64(time.Since(start)) * (1 - slow) / slow))
+	}
+
+	if len(out) == 0 || m.stage == len(m.plan)-1 {
+		c.sink(m)
+	} else {
+		m.stage++
+		c.send(m)
+	}
+	c.nodeQueued[wp.node].Add(-1)
+	c.pending.Add(-1)
+	c.wakePending()
+}
+
+func (c *Cluster) sink(m *netMsg) {
+	c.produced.Add(int64(len(m.partials)))
+	c.latencyNano.Add(int64(time.Since(m.ingress)))
+	if obs := c.resultObs.Load(); obs != nil && len(m.partials) > 0 {
+		// Ownership of the result tuples transfers to the observer's
+		// consumer; they are never recycled.
+		(*obs)(m.partials, m.ingress)
+		m.partials = nil
+		return
+	}
+	c.core.ReleasePartials(m.partials)
+	m.partials = nil
+}
+
+// rpc performs one request/response exchange on wc under the call timeout.
+func (c *Cluster) rpc(wc *wireConn, t frameType, payload []byte) (frameType, []byte, error) {
+	wc.c.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	if err := wc.writeFrame(t, payload); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, err := wc.readFrame()
+	if err != nil {
+		return 0, nil, err
+	}
+	if rt == frameError {
+		d := dec{b: rp}
+		code := d.u8()
+		msg := d.str()
+		if d.err != nil {
+			return 0, nil, d.err
+		}
+		return 0, nil, codeToError(code, msg)
+	}
+	// The payload aliases the conn's scratch; copy so decoding can
+	// outlive the call mutex.
+	out := append([]byte(nil), rp...)
+	return rt, out, nil
+}
+
+// call performs one RPC against wp's live connection, returning the
+// worker generation it used so error handlers can fence their markDown.
+func (c *Cluster) call(wp *workerProc, t frameType, payload []byte) (frameType, []byte, uint64, error) {
+	wp.callMu.Lock()
+	defer wp.callMu.Unlock()
+	wp.mu.Lock()
+	wc, down, gen := wp.wc, wp.down, wp.gen
+	wp.mu.Unlock()
+	if down || wc == nil {
+		return 0, nil, gen, ErrWorkerDown
+	}
+	rt, rp, err := c.rpc(wc, t, payload)
+	return rt, rp, gen, err
+}
+
+// callStage runs one logical stage on wp's worker: serialize the
+// partials, execute remotely, decode the survivors and the operator's
+// cumulative selectivity counters. A hop whose partials exceed the stage
+// chunk bound is issued as several stage RPCs (the counters are
+// cumulative, so the last response's values cover the whole hop); the
+// input stays whole leader-side until every chunk succeeds, so an error
+// anywhere lets the caller park or lose the full message exactly as with
+// a single-frame hop.
+func (c *Cluster) callStage(wp *workerProc, op int, partials []*stream.Joined) (out []*stream.Joined, selIn, selOut int64, gen uint64, err error) {
+	sch := c.core.Schema()
+	chunks := splitPartials(sch, partials, c.cfg.MaxStageChunk)
+	if chunks == nil {
+		chunks = [][]*stream.Joined{nil} // empty hop still runs the stage
+	}
+	out = c.core.NewPartials()
+	for _, ch := range chunks {
+		out, selIn, selOut, gen, err = c.callStageChunk(wp, op, ch, out)
+		if err != nil {
+			c.core.ReleasePartials(out)
+			return nil, 0, 0, gen, err
+		}
+	}
+	return out, selIn, selOut, gen, nil
+}
+
+// callStageChunk performs one stage RPC and appends the decoded survivors
+// to dst. The reply may span several frames — frameStagePart
+// continuations followed by the frameStageResult that carries the
+// counters — each individually bounded, so the exchange never builds a
+// frame proportional to the hop's total fanout. Always returns dst (with
+// whatever was appended) so the caller can release pooled partials on
+// error.
+func (c *Cluster) callStageChunk(wp *workerProc, op int, ps, dst []*stream.Joined) (out []*stream.Joined, selIn, selOut int64, gen uint64, err error) {
+	sch := c.core.Schema()
+	wp.callMu.Lock()
+	defer wp.callMu.Unlock()
+	wp.mu.Lock()
+	wc, down, gen := wp.wc, wp.down, wp.gen
+	wp.mu.Unlock()
+	if down || wc == nil {
+		return dst, 0, 0, gen, ErrWorkerDown
+	}
+	var e enc
+	e.u16(uint16(op))
+	encodePartials(&e, sch, ps)
+	wc.c.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	if err := wc.writeFrame(frameStage, e.b); err != nil {
+		return dst, 0, 0, gen, err
+	}
+	for {
+		// Re-arm per frame: a many-part reply is alive as long as frames
+		// keep landing within the call timeout.
+		wc.c.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		t, payload, rerr := wc.readFrame()
+		if rerr != nil {
+			return dst, 0, 0, gen, rerr
+		}
+		d := dec{b: payload}
+		switch t {
+		case frameStagePart:
+			dst, rerr = decodePartials(&d, sch, dst)
+			if rerr != nil {
+				return dst, 0, 0, gen, rerr
+			}
+		case frameStageResult:
+			selIn = d.i64()
+			selOut = d.i64()
+			dst, rerr = decodePartials(&d, sch, dst)
+			if rerr != nil {
+				return dst, 0, 0, gen, rerr
+			}
+			return dst, selIn, selOut, gen, nil
+		case frameError:
+			code := d.u8()
+			msg := d.str()
+			if d.err != nil {
+				return dst, 0, 0, gen, d.err
+			}
+			return dst, 0, 0, gen, codeToError(code, msg)
+		default:
+			return dst, 0, 0, gen, fmt.Errorf("%w: want stage result, got frame %d", ErrBadFrame, t)
+		}
+	}
+}
+
+// refreshSnap re-clones the monitor state into the chooser snapshot cache.
+func (c *Cluster) refreshSnap() {
+	snap := c.monitor.Snapshot()
+	c.snapCache.Store(&snap)
+}
+
+const statsEvery = 8
+
+// offerStats publishes observed per-op selectivities (as last piggybacked
+// on stage replies) to the monitor, rate-limited like the engine's.
+func (c *Cluster) offerStats(force bool) {
+	if !force && c.statBatches.Add(1)%statsEvery != 1 {
+		return
+	}
+	sels := make([]float64, len(c.q.Ops))
+	for i := range sels {
+		in := c.selIn[i].Load()
+		if in < 32 {
+			sels[i] = c.q.Ops[i].Sel
+		} else {
+			sels[i] = float64(c.selOut[i].Load()) / float64(in)
+		}
+	}
+	c.mu.Lock()
+	rates := make(map[string]float64, len(c.rateCount))
+	for k, v := range c.rateCount {
+		rates[k] = v
+	}
+	c.mu.Unlock()
+	now := float64(time.Now().UnixNano()) / 1e9
+	if fn := c.timeSource.Load(); fn != nil {
+		now = (*fn)()
+	}
+	c.monitor.Offer(now, sels, rates)
+	c.refreshSnap()
+}
+
+func (c *Cluster) internPlan(plan query.Plan) (internedPlan, bool) {
+	c.mu.Lock()
+	for i := range c.plans {
+		if c.plans[i].plan.Equal(plan) {
+			ip := c.plans[i]
+			c.mu.Unlock()
+			return ip, true
+		}
+	}
+	c.mu.Unlock()
+	if plan == nil || !plan.Valid(c.q) {
+		return internedPlan{}, false
+	}
+	ip := internedPlan{plan: plan.Clone(), key: plan.Key()}
+	c.mu.Lock()
+	if len(c.plans) < maxInterned {
+		c.plans = append(c.plans, ip)
+	}
+	c.mu.Unlock()
+	return ip, true
+}
+
+// Ingest implements engine.Backend: classify the batch, push its rows into
+// the join windows of its stream's operators (one Insert RPC per hosting
+// worker, batch columns straight onto the wire), seed singleton partials,
+// and start the pipeline. Inserts to down workers are skipped — recovery
+// restores from the last checkpoint anyway, exactly the tuples the
+// in-process engine also loses. Never blocks beyond the synchronous RPCs;
+// callers pace via AwaitPending.
+func (c *Cluster) Ingest(b *stream.Batch) error {
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return engine.ErrNotStarted
+	}
+	if c.stopped {
+		c.mu.Unlock()
+		return engine.ErrStopped
+	}
+	c.mu.Unlock()
+	if n := len(c.workers); int(c.downCount.Load()) >= n {
+		return fmt.Errorf("%w: all %d nodes crashed", engine.ErrNodeDown, n)
+	}
+	plan := c.chooser.Choose(*c.snapCache.Load())
+	ip, ok := c.internPlan(plan)
+	if !ok {
+		return fmt.Errorf("%w: chooser returned %v", engine.ErrInvalidPlan, plan)
+	}
+	c.offerStats(false)
+
+	n := b.Len()
+	c.mu.Lock()
+	c.ingested += int64(n)
+	c.batches++
+	c.rateCount[b.Stream] += float64(n)
+	c.planUse[ip.key]++
+	if ip.key != c.lastKey {
+		if c.lastKey != "" {
+			c.switches++
+		}
+		c.lastKey = ip.key
+	}
+	c.mu.Unlock()
+
+	// Window inserts, grouped by hosting worker so the batch crosses the
+	// wire once per node, not once per operator.
+	assign := *c.assign.Load()
+	for node := range c.workers {
+		var ops []int
+		for op, hn := range assign {
+			if hn == node && c.q.Ops[op].Kind == query.Join && c.q.Ops[op].Stream == b.Stream {
+				ops = append(ops, op)
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		wp := c.workers[node]
+		var e enc
+		e.u16(uint16(len(ops)))
+		for _, op := range ops {
+			e.u16(uint16(op))
+		}
+		encodeBatch(&e, b)
+		t, _, gen, err := c.call(wp, frameInsert, e.b)
+		if err == nil && t != frameOK {
+			err = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+		}
+		if err != nil && !isDownErr(err) {
+			c.markDown(wp, gen, chaos.Checkpoint)
+		}
+	}
+
+	// Seed one pooled singleton partial per tuple; columns are copied, so
+	// the caller may reuse b on return.
+	slot := c.core.Schema().Slot(b.Stream)
+	partials := c.core.NewPartials()
+	for i := 0; i < n; i++ {
+		j := c.core.Schema().Acquire()
+		j.SetPart(slot, b.Seq[i], b.Ts[i], b.Key[i], b.Arr[i], b.ValsAt(i))
+		partials = append(partials, j)
+	}
+	c.send(&netMsg{partials: partials, plan: ip.plan, ingress: time.Now()})
+	return nil
+}
+
+// Pending implements engine.Backend.
+func (c *Cluster) Pending() int64 { return c.pending.Load() }
+
+func (c *Cluster) wakePending() {
+	if c.waiters.Load() == 0 {
+		return
+	}
+	c.waitMu.Lock()
+	close(c.waitCh)
+	c.waitCh = make(chan struct{})
+	c.waitMu.Unlock()
+}
+
+// AwaitPending implements engine.Backend (the engine's event-driven
+// notifier protocol, verbatim).
+func (c *Cluster) AwaitPending(ctx context.Context, limit int64, closed <-chan struct{}) error {
+	if limit < 1 {
+		limit = 1
+	}
+	for c.pending.Load() >= limit {
+		c.waiters.Add(1)
+		c.waitMu.Lock()
+		ch := c.waitCh
+		c.waitMu.Unlock()
+		if c.pending.Load() < limit {
+			c.waiters.Add(-1)
+			return nil
+		}
+		select {
+		case <-ch:
+			c.waiters.Add(-1)
+		case <-ctx.Done():
+			c.waiters.Add(-1)
+			return ctx.Err()
+		case <-closed:
+			c.waiters.Add(-1)
+			return runtime.ErrClosed
+		}
+	}
+	return nil
+}
+
+// Drain implements engine.Backend.
+func (c *Cluster) Drain() { c.AwaitPending(context.Background(), 1, nil) }
+
+// Counters implements engine.Backend.
+func (c *Cluster) Counters() engine.Counters {
+	ec := engine.Counters{
+		Produced:   c.produced.Load(),
+		TuplesLost: c.lost.Load(),
+		Pending:    c.pending.Load(),
+		Crashes:    int(c.crashes.Load()),
+		Restores:   int(c.restores.Load()),
+	}
+	c.mu.Lock()
+	ec.Ingested = c.ingested
+	ec.Batches = c.batches
+	ec.PlanSwitches = c.switches
+	c.mu.Unlock()
+	return ec
+}
+
+// Nodes implements engine.Backend.
+func (c *Cluster) Nodes() int { return len(c.workers) }
+
+// Assignment implements engine.Backend.
+func (c *Cluster) Assignment() physical.Assignment { return (*c.assign.Load()).Clone() }
+
+// NodeLoads implements engine.Backend: queued message counts, with the
+// runtime.DownLoad sentinel for crashed workers.
+func (c *Cluster) NodeLoads() []float64 {
+	out := make([]float64, len(c.workers))
+	for i, wp := range c.workers {
+		wp.mu.Lock()
+		down := wp.down
+		wp.mu.Unlock()
+		if down {
+			out[i] = runtime.DownLoad
+		} else {
+			out[i] = float64(c.nodeQueued[i].Load())
+		}
+	}
+	return out
+}
+
+func (c *Cluster) controlReady() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return engine.ErrStopped
+	}
+	return nil
+}
+
+// Migrate implements engine.Backend. Unlike the in-process engine, where
+// operator state is shared memory and migration is a pure routing-table
+// swap, moving an operator here transfers its window state: snapshot on
+// the old worker, restore on the new (falling back to the leader's last
+// checkpoint when the old worker is down). In-flight hops already queued
+// to the old worker still execute there against its (now stale, but
+// intact) copy.
+func (c *Cluster) Migrate(op, node int) error {
+	if err := c.controlReady(); err != nil {
+		return err
+	}
+	cur := *c.assign.Load()
+	if op < 0 || op >= len(cur) {
+		return fmt.Errorf("%w: migrate op %d", engine.ErrUnknownOp, op)
+	}
+	if node < 0 || node >= len(c.workers) {
+		return fmt.Errorf("%w: migrate to node %d", engine.ErrUnknownNode, node)
+	}
+	if cur[op] == node {
+		return nil
+	}
+	if c.q.Ops[op].Kind == query.Join {
+		snap := c.snapshotOpFrom(cur[op], op)
+		if snap == nil {
+			c.snapMu.Lock()
+			if c.snaps != nil {
+				snap = c.snaps[op]
+			}
+			c.snapMu.Unlock()
+		}
+		if snap != nil {
+			c.restoreOpOn(node, op, snap)
+		}
+	}
+	next := cur.Clone()
+	next[op] = node
+	c.assign.Store(&next)
+	return nil
+}
+
+// snapshotOpFrom fetches op's live window state from a worker (nil when
+// the worker is down or fails mid-call).
+func (c *Cluster) snapshotOpFrom(node, op int) *stream.Batch {
+	wp := c.workers[node]
+	var e enc
+	e.u16(uint16(op))
+	t, payload, gen, err := c.call(wp, frameSnapshot, e.b)
+	if err != nil || t != frameSnapshotResult {
+		if err != nil && !isDownErr(err) {
+			c.markDown(wp, gen, chaos.Checkpoint)
+		}
+		return nil
+	}
+	d := dec{b: payload}
+	if d.u8() != 1 {
+		return nil
+	}
+	b, derr := decodeBatch(&d)
+	if derr != nil {
+		return nil
+	}
+	return b
+}
+
+// restoreOpOn replaces op's window state on a worker with snap.
+func (c *Cluster) restoreOpOn(node, op int, snap *stream.Batch) {
+	wp := c.workers[node]
+	var e enc
+	e.u16(uint16(op))
+	if snap != nil {
+		e.u8(1)
+		encodeBatch(&e, snap)
+	} else {
+		e.u8(0)
+	}
+	t, _, gen, err := c.call(wp, frameRestore, e.b)
+	if err == nil && t != frameOK {
+		err = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+	}
+	if err != nil && !isDownErr(err) {
+		c.markDown(wp, gen, chaos.Checkpoint)
+	}
+}
+
+// Crash implements engine.Backend: a literal SIGKILL of the node's worker
+// process. The queue sweep parks (Checkpoint) or destroys (LoseState) its
+// backlog, and subsequent sends do the same until Recover. Crashing a
+// crashed node is a no-op. Call from the control goroutine (the session
+// serializes this).
+func (c *Cluster) Crash(node int, mode chaos.RecoveryMode) error {
+	if err := c.controlReady(); err != nil {
+		return err
+	}
+	if node < 0 || node >= len(c.workers) {
+		return fmt.Errorf("%w: crash node %d", engine.ErrUnknownNode, node)
+	}
+	wp := c.workers[node]
+	wp.mu.Lock()
+	if wp.down {
+		wp.mu.Unlock()
+		return nil
+	}
+	gen := wp.gen
+	wp.mu.Unlock()
+	c.crashes.Add(1)
+	c.markDown(wp, gen, mode)
+	return nil
+}
+
+// Recover implements engine.Backend: respawn the worker process, restore
+// the join-window state of the operators the node currently hosts from the
+// leader's last checkpoint (Checkpoint mode; LoseState and
+// never-checkpointed recoveries start empty — a fresh process has no state
+// to clear), then replay the parked backlog through the current routing
+// table. Recovering a live node is a no-op.
+func (c *Cluster) Recover(node int) error {
+	if err := c.controlReady(); err != nil {
+		return err
+	}
+	if node < 0 || node >= len(c.workers) {
+		return fmt.Errorf("%w: recover node %d", engine.ErrUnknownNode, node)
+	}
+	wp := c.workers[node]
+	wp.mu.Lock()
+	if !wp.down {
+		wp.mu.Unlock()
+		return nil
+	}
+	mode := wp.mode
+	wp.mu.Unlock()
+	if err := c.spawnInto(wp); err != nil {
+		return err
+	}
+	wc, err := c.awaitWorker(node)
+	if err != nil {
+		wp.mu.Lock()
+		cmd, done := wp.cmd, wp.procDone
+		wp.mu.Unlock()
+		if cmd != nil {
+			_ = cmd.Kill()
+		}
+		if done != nil {
+			<-done
+		}
+		return err
+	}
+	// Restore hosted join-operator state before any traffic flows. The
+	// RPCs run directly on the fresh conn: the node is still formally
+	// down, so c.call would refuse.
+	if mode == chaos.Checkpoint {
+		c.snapMu.Lock()
+		taken := c.snaps != nil
+		var snaps []*stream.Batch
+		if taken {
+			snaps = c.snaps
+		}
+		c.snapMu.Unlock()
+		if taken {
+			assign := *c.assign.Load()
+			for op, n := range assign {
+				if n != node || c.q.Ops[op].Kind != query.Join {
+					continue
+				}
+				var e enc
+				e.u16(uint16(op))
+				if snaps[op] != nil {
+					e.u8(1)
+					encodeBatch(&e, snaps[op])
+				} else {
+					e.u8(0)
+				}
+				t, _, rerr := c.rpc(wc, frameRestore, e.b)
+				if rerr == nil && t != frameOK {
+					rerr = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+				}
+				if rerr != nil {
+					wc.Close()
+					wp.mu.Lock()
+					cmd, done := wp.cmd, wp.procDone
+					wp.mu.Unlock()
+					if cmd != nil {
+						_ = cmd.Kill()
+					}
+					if done != nil {
+						<-done
+					}
+					return fmt.Errorf("netrt: restore op on recovered node %d: %w", node, rerr)
+				}
+				c.restores.Add(1)
+			}
+		}
+	}
+	// Flip live and take the parked backlog atomically: later sends go
+	// straight to the queue, everything parked before the flip replays.
+	wp.mu.Lock()
+	wp.wc = wc
+	wp.down = false
+	wp.quit = make(chan struct{})
+	quit := wp.quit
+	parked := wp.parked
+	wp.parked = nil
+	wp.mu.Unlock()
+	c.downCount.Add(-1)
+	go c.dispatcher(wp, quit)
+	for _, m := range parked {
+		c.send(m)
+	}
+	return nil
+}
+
+// awaitWorker waits for the accept loop to deliver node's handshaken
+// connection.
+func (c *Cluster) awaitWorker(node int) (*wireConn, error) {
+	deadline := time.After(c.cfg.StartupTimeout)
+	for {
+		select {
+		case ac := <-c.connCh:
+			if ac.node == node {
+				return ac.wc, nil
+			}
+			ac.wc.Close()
+		case <-deadline:
+			return nil, fmt.Errorf("netrt: timed out waiting for worker %d handshake", node)
+		}
+	}
+}
+
+// SetSlowdown implements engine.Backend: hops on the node take 1/factor
+// their service time until restored with factor 1.
+func (c *Cluster) SetSlowdown(node int, factor float64) error {
+	if err := c.controlReady(); err != nil {
+		return err
+	}
+	if node < 0 || node >= len(c.workers) {
+		return fmt.Errorf("%w: slowdown node %d", engine.ErrUnknownNode, node)
+	}
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	wp := c.workers[node]
+	wp.mu.Lock()
+	wp.slow = factor
+	wp.mu.Unlock()
+	return nil
+}
+
+// Checkpoint implements engine.Backend: snapshot every join operator's
+// window state into leader memory — what Checkpoint-mode recovery ships
+// back to a respawned worker. Operators on down workers keep their
+// previous snapshot (their state will be rebuilt from it anyway).
+func (c *Cluster) Checkpoint() {
+	assign := *c.assign.Load()
+	c.snapMu.Lock()
+	prev := c.snaps
+	c.snapMu.Unlock()
+	snaps := make([]*stream.Batch, len(c.q.Ops))
+	for op := range c.q.Ops {
+		if c.q.Ops[op].Kind != query.Join {
+			continue
+		}
+		if b := c.snapshotOpFrom(assign[op], op); b != nil {
+			snaps[op] = b
+		} else if prev != nil {
+			snaps[op] = prev[op]
+		}
+	}
+	c.snapMu.Lock()
+	c.snaps = snaps
+	c.snapMu.Unlock()
+}
+
+// SetChooser implements engine.Backend (install before Start).
+func (c *Cluster) SetChooser(ch engine.PlanChooser) { c.chooser = ch }
+
+// SetTimeSource implements engine.Backend.
+func (c *Cluster) SetTimeSource(fn func() float64) {
+	if fn == nil {
+		c.timeSource.Store(nil)
+		return
+	}
+	c.timeSource.Store(&fn)
+}
+
+// SetResultObserver implements engine.Backend.
+func (c *Cluster) SetResultObserver(obs func(tuples []*stream.Joined, ingress time.Time)) {
+	if obs == nil {
+		c.resultObs.Store(nil)
+		return
+	}
+	c.resultObs.Store(&obs)
+}
+
+// Stop implements engine.Backend: barrier out in-flight Ingests, drain the
+// pipeline, quit every live worker (SIGKILL any that dawdle), destroy
+// backlog parked on still-down nodes, and report the run. Safe to call on
+// a never-started cluster (the OpenSessionOn error path).
+func (c *Cluster) Stop() engine.Results {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		<-c.stopDone
+		return c.results()
+	}
+	c.stopped = true
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		c.teardown()
+		close(c.stopDone)
+		return c.results()
+	}
+	// Barrier: wait out any Ingest that passed its stopped-check before
+	// the flag flipped; new Ingests are now rejected.
+	c.sendMu.Lock()
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	c.sendMu.Unlock()
+	c.Drain()
+	close(c.hbQuit)
+	<-c.hbDone
+	for _, wp := range c.workers {
+		wp.mu.Lock()
+		down := wp.down
+		wp.mu.Unlock()
+		if down {
+			// Still down at shutdown: only the parked backlog remains —
+			// count it as lost, there is no recovery to replay into.
+			wp.mu.Lock()
+			parked := wp.parked
+			wp.parked = nil
+			wp.mu.Unlock()
+			for _, m := range parked {
+				c.lose(m)
+			}
+			continue
+		}
+		wp.mu.Lock()
+		quit, wc, cmd, done := wp.quit, wp.wc, wp.cmd, wp.procDone
+		wp.down = true
+		wp.wc = nil
+		wp.mu.Unlock()
+		close(quit)
+		if wc != nil {
+			wp.callMu.Lock()
+			_ = wc.writeFrame(frameQuit, nil)
+			wp.callMu.Unlock()
+		}
+		if done != nil {
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				if cmd != nil {
+					_ = cmd.Kill()
+				}
+				<-done
+			}
+		}
+		if wc != nil {
+			wc.Close()
+		}
+	}
+	c.ln.Close()
+	c.offerStats(true)
+	close(c.stopDone)
+	return c.results()
+}
+
+func (c *Cluster) results() engine.Results {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := engine.Results{
+		Produced:     c.produced.Load(),
+		Ingested:     c.ingested,
+		Batches:      c.batches,
+		PlanSwitches: c.switches,
+		PlanUse:      make(map[string]int64, len(c.planUse)),
+		Crashes:      int(c.crashes.Load()),
+		TuplesLost:   c.lost.Load(),
+		Restores:     int(c.restores.Load()),
+	}
+	for k, v := range c.planUse {
+		r.PlanUse[k] = v
+	}
+	if c.batches > 0 {
+		r.MeanLatencyMS = float64(c.latencyNano.Load()) / 1e6 / float64(c.batches)
+	}
+	snap := c.monitor.Snapshot()
+	r.ObservedSels = snap.Sels
+	return r
+}

@@ -1,0 +1,285 @@
+package netrt
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"rld/internal/engine"
+	"rld/internal/physical"
+	"rld/internal/query"
+	"rld/internal/runtime"
+	"rld/internal/stream"
+)
+
+// testQuery is a 2-op query (select on S1, join on S2) that passes every
+// tuple with payload 50 and joins on small shared keys.
+func testQuery() *query.Query {
+	q := query.NewNWayJoin("NETQ", 2, 5)
+	q.Ops[0].Sel = 0.9
+	q.Ops[1].Sel = 0.9
+	return q
+}
+
+func testPolicy() runtime.Policy {
+	return &runtime.StaticPolicy{
+		PolicyName: "FIXED",
+		Plan:       query.Plan{0, 1},
+		Assign:     physical.Assignment{0, 1},
+	}
+}
+
+// testBatch builds n tuples on streamName at virtual time ts with keys
+// cycling a small domain (so S1 and S2 tuples collide and join).
+func testBatch(streamName string, seq *uint64, ts float64, n int) *stream.Batch {
+	b := stream.NewSizedBatch(streamName, 1, n)
+	for i := 0; i < n; i++ {
+		row := b.AppendRow(*seq, stream.Time(ts), int64(i%8), stream.Time(ts))
+		row[0] = 50 // passes the selection at Sel 0.9 (threshold 90)
+		*seq++
+	}
+	return b
+}
+
+func openTestSession(t *testing.T, nNodes int, pol runtime.Policy) runtime.Session {
+	t.Helper()
+	q := testQuery()
+	s, err := OpenSession(q, nNodes, pol, Options{
+		Session: engine.SessionOptions{MaxPending: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionLifecycle is the distributed hello-world: real worker
+// processes, real TCP, results out the far end, clean shutdown, no
+// processes left behind (TestMain's leak gate).
+func TestSessionLifecycle(t *testing.T) {
+	s := openTestSession(t, 2, testPolicy())
+	if s.Substrate() != "net" {
+		t.Fatalf("substrate %q, want net", s.Substrate())
+	}
+	if got := len(LiveWorkers()); got != 2 {
+		t.Fatalf("%d live workers, want 2", got)
+	}
+	ctx := context.Background()
+	var seq uint64
+	for i := 0; i < 40; i++ {
+		st := "S1"
+		if i%2 == 1 {
+			st = "S2"
+		}
+		if err := s.Ingest(ctx, testBatch(st, &seq, float64(i), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Substrate != "net" || rep.Policy != "FIXED" {
+		t.Fatalf("report header %q/%q", rep.Policy, rep.Substrate)
+	}
+	if rep.Ingested != 400 {
+		t.Fatalf("ingested %v, want 400", rep.Ingested)
+	}
+	if rep.Produced == 0 {
+		t.Fatal("distributed pipeline produced nothing")
+	}
+	if got := len(LiveWorkers()); got != 0 {
+		t.Fatalf("%d workers outlived Close", got)
+	}
+}
+
+// TestStageChunkedTransfer pins the multi-frame stage exchange: with the
+// chunk bound squeezed to a few dozen bytes, every hop's request and reply
+// is forced through frameStagePart continuations, and the run must produce
+// exactly what an unchunked run over the same deterministic ingest
+// sequence produces. Draining after every batch serializes inserts and
+// probes, so the two runs see identical window states hop for hop.
+func TestStageChunkedTransfer(t *testing.T) {
+	run := func(chunk int) engine.Results {
+		q := testQuery()
+		c, err := NewCluster(q, physical.Assignment{0, 1}, 2, ClusterConfig{MaxStageChunk: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetChooser(engine.StaticChooser{Plan: query.Plan{0, 1}})
+		c.Start()
+		var seq uint64
+		for i := 0; i < 30; i++ {
+			st := "S1"
+			if i%2 == 1 {
+				st = "S2"
+			}
+			if err := c.Ingest(testBatch(st, &seq, float64(i), 10)); err != nil {
+				t.Fatal(err)
+			}
+			c.Drain()
+		}
+		return c.Stop()
+	}
+
+	base := run(0)  // DefaultStageChunk: single-frame hops
+	tiny := run(48) // below one joined pair's wire size: every hop chunks
+	if base.Produced == 0 {
+		t.Fatal("baseline run produced nothing")
+	}
+	if tiny.Produced != base.Produced || tiny.Ingested != base.Ingested {
+		t.Fatalf("chunked run diverged: produced %d/%d, ingested %d/%d",
+			tiny.Produced, base.Produced, tiny.Ingested, base.Ingested)
+	}
+	if got := len(LiveWorkers()); got != 0 {
+		t.Fatalf("%d workers outlived the chunked runs", got)
+	}
+}
+
+// TestCrashIsSIGKILLAndRecoverRestores pins the substrate's defining
+// semantics: Crash kills the worker process itself (the live-process table
+// shrinks), parked work and a checkpoint restore bring the node back, and
+// the run still completes.
+func TestCrashIsSIGKILLAndRecoverRestores(t *testing.T) {
+	s := openTestSession(t, 2, testPolicy())
+	ctx := context.Background()
+	var seq uint64
+	feedSome := func(from int) {
+		for i := from; i < from+20; i++ {
+			st := "S1"
+			if i%2 == 1 {
+				st = "S2"
+			}
+			if err := s.Ingest(ctx, testBatch(st, &seq, float64(i), 10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feedSome(0)
+	if err := s.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(LiveWorkers()); got != 1 {
+		t.Fatalf("after Crash: %d live workers, want 1 (crash must be a real process kill)", got)
+	}
+	// The pipeline survives the outage: batches route, work for the dead
+	// node parks.
+	feedSome(20)
+	if err := s.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(LiveWorkers()); got != 2 {
+		t.Fatalf("after Recover: %d live workers, want 2", got)
+	}
+	feedSome(40)
+	rep, err := s.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 1 {
+		t.Fatalf("crashes %d, want 1", rep.Crashes)
+	}
+	if rep.Produced == 0 {
+		t.Fatal("no results through a crash+recover run")
+	}
+}
+
+// TestIngestAfterAllNodesDown pins the typed error surface when the whole
+// cluster is gone.
+func TestIngestAfterAllNodesDown(t *testing.T) {
+	s := openTestSession(t, 1, &runtime.StaticPolicy{
+		PolicyName: "FIXED", Plan: query.Plan{0, 1}, Assign: physical.Assignment{0, 0},
+	})
+	ctx := context.Background()
+	var seq uint64
+	if err := s.Ingest(ctx, testBatch("S1", &seq, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Ingest(ctx, testBatch("S1", &seq, 1, 5))
+	if !errors.Is(err, engine.ErrNodeDown) {
+		t.Fatalf("got %v, want ErrNodeDown", err)
+	}
+	if _, err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dialLeader opens a raw framed connection to a live cluster's listener.
+func dialLeader(t *testing.T, c *Cluster) *wireConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", c.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := newWireConn(conn)
+	t.Cleanup(func() { wc.Close() })
+	return wc
+}
+
+// TestLeaderRejectsBadHandshakes drives the leader's accept loop with the
+// three hostile dials the wire protocol must refuse typed: a stale-epoch
+// worker (a survivor of a previous leader incarnation), a version-skewed
+// worker, and a non-hello first frame. Each must get an error frame, never
+// a hang or a crash, and the cluster must keep serving its real workers.
+func TestLeaderRejectsBadHandshakes(t *testing.T) {
+	q := testQuery()
+	c, err := NewCluster(q, physical.Assignment{0, 0}, 1, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	expectRejection := func(helloPayload []byte, firstFrame frameType, want error) {
+		t.Helper()
+		wc := dialLeader(t, c)
+		if err := wc.writeFrame(firstFrame, helloPayload); err != nil {
+			t.Fatal(err)
+		}
+		ft, payload, err := wc.readFrame()
+		if err != nil {
+			t.Fatalf("no reply: %v", err)
+		}
+		if ft != frameError {
+			t.Fatalf("got frame %d, want error frame", ft)
+		}
+		d := dec{b: payload}
+		got := codeToError(d.u8(), d.str())
+		if !errors.Is(got, want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+
+	// Stale worker from a dead leader incarnation.
+	expectRejection(encodeHello(0, c.epoch+1), frameHello, ErrStaleEpoch)
+	// Version-skewed worker.
+	var e enc
+	e.u32(protoMagic)
+	e.u16(ProtoVersion + 7)
+	e.u32(0)
+	e.u64(c.epoch)
+	expectRejection(e.b, frameHello, ErrVersionMismatch)
+	// Garbage first frame.
+	expectRejection([]byte("not a hello"), frameInsert, ErrBadFrame)
+	// Out-of-range node index.
+	expectRejection(encodeHello(99, c.epoch), frameHello, ErrBadFrame)
+}
+
+// TestStaleWorkerRunWorker exercises the worker side of a leader restart:
+// RunWorker dialing a fresh leader with a stale epoch must come back with
+// the typed ErrStaleEpoch (carried through the error frame), not hang.
+func TestStaleWorkerRunWorker(t *testing.T) {
+	q := testQuery()
+	c, err := NewCluster(q, physical.Assignment{0, 0}, 1, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := RunWorker(c.Addr(), 0, c.epoch^0xdead); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("got %v, want ErrStaleEpoch", err)
+	}
+}

@@ -1,0 +1,74 @@
+package netrt
+
+import (
+	"context"
+	"fmt"
+
+	"rld/internal/chaos"
+	"rld/internal/engine"
+	"rld/internal/query"
+	"rld/internal/runtime"
+)
+
+// Executor adapts the distributed substrate to the substrate-agnostic
+// runtime.Executor interface: it replays a Feed of real tuple batches
+// through a fresh leader/worker cluster under the given Policy. It is the
+// engine.Executor's shape with processes where the engine has goroutine
+// pools — the third leg of the sim/engine/net conformance triangle.
+type Executor struct {
+	// Query is the continuous query to execute.
+	Query *query.Query
+	// Nodes is the cluster size: one worker process per node.
+	Nodes int
+	// Feed supplies the tuple batches (consumed by Execute; build a
+	// fresh Feed per call).
+	Feed runtime.Feed
+	// Config tunes every worker's operator state (threshold scale,
+	// fanout cap, shards).
+	Config engine.Config
+	// WorkerCommand optionally names the worker binary (argv prefix);
+	// empty re-execs the current binary, which must call MaybeWorker
+	// first thing in main or TestMain.
+	WorkerCommand []string
+	// TickEvery is the control (Rebalance) period in virtual seconds
+	// (default 5, matching the simulator's default).
+	TickEvery float64
+	// Faults is an optional scripted fault schedule injected as virtual
+	// time advances: crashes SIGKILL the node's worker process (with
+	// park-and-replay or lose-state recovery per the plan's mode, and
+	// periodic window checkpoints in Checkpoint mode), slowdowns stretch
+	// its hop service time. Nil runs fault-free.
+	Faults *chaos.FaultPlan
+	// Horizon is the run's virtual-time end in seconds (see
+	// engine.Executor.Horizon; same semantics).
+	Horizon float64
+}
+
+// Substrate implements runtime.Executor.
+func (x *Executor) Substrate() string { return "net" }
+
+// SetFaults implements runtime.FaultInjector.
+func (x *Executor) SetFaults(fp *chaos.FaultPlan) { x.Faults = fp }
+
+// Execute implements runtime.Executor: spawn a cluster, replay the feed to
+// exhaustion under pol, shut down, and report the outcome.
+func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
+	if x.Query == nil || x.Feed == nil {
+		return nil, fmt.Errorf("netrt: executor needs a query and a feed")
+	}
+	s, err := OpenSession(x.Query, x.Nodes, pol, Options{
+		Session: engine.SessionOptions{
+			Config:    x.Config,
+			TickEvery: x.TickEvery,
+			Faults:    x.Faults,
+			Horizon:   x.Horizon,
+		},
+		Cluster: ClusterConfig{WorkerCommand: x.WorkerCommand},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Replay(context.Background(), s, x.Feed)
+}
+
+var _ runtime.FaultInjector = (*Executor)(nil)

@@ -1,0 +1,26 @@
+package netrt
+
+import (
+	"fmt"
+	"os"
+	stdruntime "runtime"
+	"testing"
+)
+
+// TestMain is the package's worker re-exec entry point and leak gate:
+// MaybeWorker must run before the test framework so a re-exec of this test
+// binary serves the worker loop instead of re-running the tests, and after
+// a green run the gate asserts no worker process or leader goroutine
+// outlived its cluster.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	baseline := stdruntime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := CheckLeaks(baseline, 8, stdruntime.NumGoroutine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,474 @@
+// Package netrt is the multi-process network substrate: each node of the
+// cluster is a real OS process (cmd/rldworker, or a re-exec of the host
+// binary) owning its operators' join-window state through the same
+// engine.NodeCore the in-process engine runs, and the leader — embedded in
+// the caller's process — owns the routing table, placement, virtual-clock
+// control tick, plan classification, statistics, and failure detection.
+// Leader and workers speak a length-prefixed binary TCP protocol with no
+// dependencies outside the standard library; stream.Batch columns are
+// serialized directly onto the wire, so the columnar hot path survives the
+// hop. Crash here is a literal SIGKILL of the worker process, and Recover
+// respawns it with a checkpoint restore — the chaos conformance tests run
+// against real process death.
+package netrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"rld/internal/stream"
+)
+
+const (
+	// protoMagic opens every Hello frame ("RLD1").
+	protoMagic = 0x524C4431
+	// ProtoVersion is the wire protocol version; leader and worker must
+	// match exactly.
+	ProtoVersion = 1
+	// MaxFrame bounds a single frame's payload. Frames beyond it are
+	// rejected with ErrFrameTooLarge before any allocation.
+	MaxFrame = 64 << 20
+	// DefaultStageChunk is the soft bound on one stage frame's partials
+	// payload. A hop whose partials encode past it travels as several
+	// frames (frameStagePart… + frameStageResult) instead of one — join
+	// fanout can multiply a batch far beyond MaxFrame, and the chunking
+	// keeps every individual frame small no matter how large a logical
+	// hop grows.
+	DefaultStageChunk = 8 << 20
+)
+
+// Typed wire-protocol errors: every malformed input the protocol can see
+// maps to one of these (matched with errors.Is) — never a panic or a hang.
+var (
+	// ErrFrameTooLarge reports a frame header announcing a payload beyond
+	// MaxFrame.
+	ErrFrameTooLarge = errors.New("netrt: frame exceeds size limit")
+	// ErrTruncatedFrame reports a connection that ended mid-frame.
+	ErrTruncatedFrame = errors.New("netrt: truncated frame")
+	// ErrVersionMismatch reports a worker handshake with a different
+	// protocol version.
+	ErrVersionMismatch = errors.New("netrt: protocol version mismatch")
+	// ErrStaleEpoch reports a worker from a previous leader incarnation
+	// (its handshake epoch does not match the live leader's).
+	ErrStaleEpoch = errors.New("netrt: stale worker epoch")
+	// ErrBadFrame reports a structurally invalid frame or payload.
+	ErrBadFrame = errors.New("netrt: malformed frame")
+	// ErrWorkerDown reports an RPC attempted against a crashed worker.
+	ErrWorkerDown = errors.New("netrt: worker down")
+)
+
+// frameType tags each frame's payload.
+type frameType byte
+
+const (
+	frameHello          frameType = iota + 1 // worker → leader: magic, version, node, epoch
+	frameWelcome                             // leader → worker: JSON setup (query + config)
+	frameError                               // either way: code + message, then close
+	frameInsert                              // leader → worker: ops + batch columns
+	frameStage                               // leader → worker: op + partials
+	frameStageResult                         // worker → leader: sel counters + partials
+	frameSnapshot                            // leader → worker: op
+	frameSnapshotResult                      // worker → leader: optional batch
+	frameRestore                             // leader → worker: op + optional batch
+	frameClear                               // leader → worker: op
+	frameOK                                  // worker → leader: empty ack
+	framePing                                // leader → worker: liveness probe
+	framePong                                // worker → leader: liveness reply
+	frameQuit                                // leader → worker: clean shutdown
+	frameStagePart                           // worker → leader: partials continuation before the stage result
+)
+
+// Error-frame codes, mapped back to the typed errors on decode.
+const (
+	codeGeneric byte = iota
+	codeVersionMismatch
+	codeStaleEpoch
+	codeBadFrame
+)
+
+// errorToCode maps a typed error to its wire code.
+func errorToCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrVersionMismatch):
+		return codeVersionMismatch
+	case errors.Is(err, ErrStaleEpoch):
+		return codeStaleEpoch
+	case errors.Is(err, ErrBadFrame):
+		return codeBadFrame
+	}
+	return codeGeneric
+}
+
+// codeToError reconstructs the typed error from an error frame.
+func codeToError(code byte, msg string) error {
+	switch code {
+	case codeVersionMismatch:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, msg)
+	case codeStaleEpoch:
+		return fmt.Errorf("%w: %s", ErrStaleEpoch, msg)
+	case codeBadFrame:
+		return fmt.Errorf("%w: %s", ErrBadFrame, msg)
+	}
+	return fmt.Errorf("netrt: remote error: %s", msg)
+}
+
+// wireConn wraps one TCP connection with buffered framed I/O and reusable
+// encode/decode scratch. Not safe for concurrent use; callers serialize
+// (the leader holds a per-worker call mutex, the worker is single-threaded).
+type wireConn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+	buf []byte // read payload scratch, reused across frames
+}
+
+func newWireConn(c net.Conn) *wireConn {
+	return &wireConn{c: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
+}
+
+func (wc *wireConn) Close() error { return wc.c.Close() }
+
+// writeFrame sends one frame: u32 little-endian payload length, u8 type,
+// payload. A payload beyond MaxFrame is refused before any bytes hit the
+// wire, so the connection stays frame-aligned — the peer's readFrame
+// would reject the length anyway, but by then the stream is poisoned.
+func (wc *wireConn) writeFrame(t frameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := wc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := wc.w.Write(payload); err != nil {
+		return err
+	}
+	return wc.w.Flush()
+}
+
+// writeError best-effort sends a typed error frame (used just before
+// closing a rejected connection).
+func (wc *wireConn) writeError(err error) {
+	var e enc
+	e.u8(errorToCode(err))
+	e.str(err.Error())
+	_ = wc.writeFrame(frameError, e.b)
+}
+
+// readFrame reads one frame. A connection ending cleanly between frames
+// returns io.EOF; ending mid-frame returns ErrTruncatedFrame; a length
+// beyond MaxFrame returns ErrFrameTooLarge without reading the payload.
+// The returned payload aliases the connection's scratch buffer and is valid
+// until the next readFrame.
+func (wc *wireConn) readFrame() (frameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(wc.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrTruncatedFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	t := frameType(hdr[4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	if cap(wc.buf) < int(n) {
+		wc.buf = make([]byte, n)
+	}
+	wc.buf = wc.buf[:n]
+	if _, err := io.ReadFull(wc.r, wc.buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload: %v", ErrTruncatedFrame, err)
+	}
+	return t, wc.buf, nil
+}
+
+// enc is an append-only little-endian payload encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is the matching decoder; every underflow or inconsistency latches
+// err (an ErrBadFrame) and zero-values flow from then on, so message
+// decoders check err once at the end.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: short payload", ErrBadFrame)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// helloMsg is the worker's handshake.
+type helloMsg struct {
+	node  int
+	epoch uint64
+}
+
+func encodeHello(node int, epoch uint64) []byte {
+	var e enc
+	e.u32(protoMagic)
+	e.u16(ProtoVersion)
+	e.u32(uint32(node))
+	e.u64(epoch)
+	return e.b
+}
+
+// decodeHello validates magic and version; epoch/node validation is the
+// leader's (it knows the live epoch and cluster size).
+func decodeHello(payload []byte) (helloMsg, error) {
+	d := dec{b: payload}
+	magic := d.u32()
+	ver := d.u16()
+	node := d.u32()
+	epoch := d.u64()
+	if d.err != nil {
+		return helloMsg{}, d.err
+	}
+	if magic != protoMagic {
+		return helloMsg{}, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, magic)
+	}
+	if ver != ProtoVersion {
+		return helloMsg{}, fmt.Errorf("%w: worker speaks v%d, leader v%d", ErrVersionMismatch, ver, ProtoVersion)
+	}
+	return helloMsg{node: int(node), epoch: epoch}, nil
+}
+
+// encodeBatch appends b's columns: stream name, width, row count, the four
+// attribute columns, then the flat payload column.
+func encodeBatch(e *enc, b *stream.Batch) {
+	e.str(b.Stream)
+	w := b.Width()
+	if w < 0 {
+		w = 0
+	}
+	e.u16(uint16(w))
+	n := b.Len()
+	e.u32(uint32(n))
+	for i := 0; i < n; i++ {
+		e.u64(b.Seq[i])
+		e.f64(float64(b.Ts[i]))
+		e.i64(b.Key[i])
+		e.f64(float64(b.Arr[i]))
+	}
+	for _, v := range b.Vals[:n*w] {
+		e.f64(v)
+	}
+}
+
+// decodeBatch rebuilds a batch from the wire (a fresh allocation — decoded
+// batches feed window inserts, which copy, so pooling buys nothing here).
+func decodeBatch(d *dec) (*stream.Batch, error) {
+	name := d.str()
+	w := int(d.u16())
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Bound the row count by what the remaining payload can actually
+	// hold, so a corrupt header cannot trigger a huge allocation.
+	if uint64(n)*uint64(32+8*w) > uint64(len(d.b)) {
+		return nil, fmt.Errorf("%w: batch rows exceed payload", ErrBadFrame)
+	}
+	b := stream.NewSizedBatch(name, w, n)
+	for i := 0; i < n; i++ {
+		seq := d.u64()
+		ts := stream.Time(d.f64())
+		key := d.i64()
+		arr := stream.Time(d.f64())
+		b.AppendRow(seq, ts, key, arr)
+	}
+	for i := range b.Vals {
+		b.Vals[i] = d.f64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return b, nil
+}
+
+// encodePartials appends a slice of join partials: count, then per partial
+// the populated-slot mask followed by each populated part in ascending slot
+// order (seq, ts, key, arrival, payload).
+func encodePartials(e *enc, sch *stream.JoinSchema, ps []*stream.Joined) {
+	e.u32(uint32(len(ps)))
+	for _, p := range ps {
+		var mask uint64
+		for slot := 0; slot < sch.Len(); slot++ {
+			if p.Has(slot) {
+				mask |= 1 << uint(slot)
+			}
+		}
+		e.u64(mask)
+		for slot := 0; slot < sch.Len(); slot++ {
+			t, ok := p.Part(slot)
+			if !ok {
+				continue
+			}
+			e.u64(t.Seq)
+			e.f64(float64(t.Ts))
+			e.i64(t.Key)
+			e.f64(float64(t.Arrival))
+			e.u16(uint16(len(t.Vals)))
+			for _, v := range t.Vals {
+				e.f64(v)
+			}
+		}
+	}
+}
+
+// partialWireSize returns the exact encoded size of one partial under
+// encodePartials: the slot mask plus, per populated slot, the fixed tuple
+// header and its payload values.
+func partialWireSize(sch *stream.JoinSchema, p *stream.Joined) int {
+	n := 8 // mask
+	for slot := 0; slot < sch.Len(); slot++ {
+		t, ok := p.Part(slot)
+		if !ok {
+			continue
+		}
+		n += 8 + 8 + 8 + 8 + 2 + 8*len(t.Vals)
+	}
+	return n
+}
+
+// splitPartials partitions ps into consecutive runs whose encodePartials
+// payloads each stay within limit (plus the 4-byte count header). A single
+// partial larger than limit still gets its own chunk — writeFrame's
+// MaxFrame check is the hard stop. Order is preserved; an empty input
+// yields no chunks.
+func splitPartials(sch *stream.JoinSchema, ps []*stream.Joined, limit int) [][]*stream.Joined {
+	if len(ps) == 0 {
+		return nil
+	}
+	var chunks [][]*stream.Joined
+	start, size := 0, 0
+	for i, p := range ps {
+		s := partialWireSize(sch, p)
+		if i > start && size+s > limit {
+			chunks = append(chunks, ps[start:i])
+			start, size = i, 0
+		}
+		size += s
+	}
+	return append(chunks, ps[start:])
+}
+
+// decodePartials rebuilds partials into dst (pass an empty pooled slice).
+// Parts are applied in ascending slot order, which reproduces the Ts=max /
+// Arrival=min aggregates SetPart folds exactly as the sender computed them.
+func decodePartials(d *dec, sch *stream.JoinSchema, dst []*stream.Joined) ([]*stream.Joined, error) {
+	n := int(d.u32())
+	if d.err != nil {
+		return dst, d.err
+	}
+	// Each partial costs at least a mask on the wire.
+	if uint64(n)*8 > uint64(len(d.b)) {
+		return dst, fmt.Errorf("%w: partial count exceeds payload", ErrBadFrame)
+	}
+	var vals []float64
+	for i := 0; i < n; i++ {
+		mask := d.u64()
+		if mask>>uint(sch.Len()) != 0 {
+			d.err = fmt.Errorf("%w: partial mask has out-of-schema slots", ErrBadFrame)
+		}
+		j := sch.Acquire()
+		for slot := 0; slot < sch.Len() && d.err == nil; slot++ {
+			if mask&(1<<uint(slot)) == 0 {
+				continue
+			}
+			seq := d.u64()
+			ts := stream.Time(d.f64())
+			key := d.i64()
+			arr := stream.Time(d.f64())
+			nv := int(d.u16())
+			if uint64(nv)*8 > uint64(len(d.b)) {
+				d.fail()
+				break
+			}
+			vals = vals[:0]
+			for v := 0; v < nv; v++ {
+				vals = append(vals, d.f64())
+			}
+			j.SetPart(slot, seq, ts, key, arr, vals)
+		}
+		if d.err != nil {
+			j.Release()
+			return dst, d.err
+		}
+		dst = append(dst, j)
+	}
+	return dst, nil
+}

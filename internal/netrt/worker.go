@@ -1,0 +1,220 @@
+package netrt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"rld/internal/engine"
+	"rld/internal/query"
+	"rld/internal/stream"
+)
+
+// setupMsg is the Welcome payload: everything a worker needs to build its
+// NodeCore. JSON keeps the handshake debuggable and sidesteps hand-rolled
+// encoding for the one message that is not on the hot path.
+type setupMsg struct {
+	Query  *query.Query
+	Config engine.Config
+	// StageChunk is the leader's soft bound on one stage frame's partials
+	// payload; the worker splits larger stage replies into frameStagePart
+	// continuations under the same bound.
+	StageChunk int
+}
+
+// RunWorker connects to the leader, performs the handshake, builds the
+// node's operator state, and serves stage/insert/snapshot requests until a
+// Quit frame or connection loss. The loop is single-threaded — one request
+// at a time per worker, matching the one-dispatcher-per-node leader —
+// so NodeCore sees no concurrency beyond what the engine's shard locks
+// already absorb.
+//
+// The returned error is nil only for a clean Quit. Losing the connection
+// without a Quit (the leader died, or this worker is about to be SIGKILLed
+// and lost a race with the conn teardown) is an error: the process exits
+// nonzero and, because the conn is gone, can never outlive its leader as
+// an orphan.
+func RunWorker(leaderAddr string, node int, epoch uint64) error {
+	conn, err := net.DialTimeout("tcp", leaderAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("netrt: dial leader %s: %w", leaderAddr, err)
+	}
+	wc := newWireConn(conn)
+	defer wc.Close()
+	if err := wc.writeFrame(frameHello, encodeHello(node, epoch)); err != nil {
+		return fmt.Errorf("netrt: hello: %w", err)
+	}
+	t, payload, err := wc.readFrame()
+	if err != nil {
+		return fmt.Errorf("netrt: handshake: %w", err)
+	}
+	switch t {
+	case frameWelcome:
+	case frameError:
+		d := dec{b: payload}
+		code := d.u8()
+		msg := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		return codeToError(code, msg)
+	default:
+		return fmt.Errorf("%w: unexpected handshake frame %d", ErrBadFrame, t)
+	}
+	var setup setupMsg
+	if err := json.Unmarshal(payload, &setup); err != nil {
+		return fmt.Errorf("%w: setup: %v", ErrBadFrame, err)
+	}
+	core, err := engine.NewNodeCore(setup.Query, setup.Config)
+	if err != nil {
+		return fmt.Errorf("netrt: setup: %w", err)
+	}
+	chunk := setup.StageChunk
+	if chunk <= 0 {
+		chunk = DefaultStageChunk
+	}
+	return serve(wc, core, chunk)
+}
+
+// serve is the worker request loop.
+func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
+	sch := core.Schema()
+	var reply enc
+	for {
+		t, payload, err := wc.readFrame()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("netrt: leader closed connection without quit")
+			}
+			return err
+		}
+		d := dec{b: payload}
+		reply.b = reply.b[:0]
+		switch t {
+		case frameInsert:
+			nOps := int(d.u16())
+			ops := make([]int, 0, nOps)
+			for i := 0; i < nOps; i++ {
+				ops = append(ops, int(d.u16()))
+			}
+			b, derr := decodeBatch(&d)
+			if derr != nil {
+				wc.writeError(derr)
+				return derr
+			}
+			for _, op := range ops {
+				if err := core.Insert(op, b); err != nil {
+					wc.writeError(err)
+					return err
+				}
+			}
+			if err := wc.writeFrame(frameOK, nil); err != nil {
+				return err
+			}
+		case frameStage:
+			op := int(d.u16())
+			partials, derr := decodePartials(&d, sch, core.NewPartials())
+			if derr != nil {
+				core.ReleasePartials(partials)
+				wc.writeError(derr)
+				return derr
+			}
+			out, perr := core.ProcessStage(op, partials)
+			if perr != nil {
+				wc.writeError(perr)
+				return perr
+			}
+			selIn, selOut := core.SelCounters(op)
+			// Join fanout can multiply the input far past MaxFrame, so the
+			// reply is split: every segment but the last travels as a
+			// frameStagePart, and the final frameStageResult carries the
+			// selectivity counters plus the tail segment.
+			segs := splitPartials(sch, out, chunk)
+			for len(segs) > 1 {
+				reply.b = reply.b[:0]
+				encodePartials(&reply, sch, segs[0])
+				if err := wc.writeFrame(frameStagePart, reply.b); err != nil {
+					core.ReleasePartials(out)
+					return err
+				}
+				segs = segs[1:]
+			}
+			var tail []*stream.Joined
+			if len(segs) == 1 {
+				tail = segs[0]
+			}
+			reply.b = reply.b[:0]
+			reply.i64(selIn)
+			reply.i64(selOut)
+			encodePartials(&reply, sch, tail)
+			core.ReleasePartials(out)
+			if err := wc.writeFrame(frameStageResult, reply.b); err != nil {
+				return err
+			}
+		case frameSnapshot:
+			op := int(d.u16())
+			if d.err != nil {
+				wc.writeError(d.err)
+				return d.err
+			}
+			if op < 0 || op >= core.NumOps() {
+				err := fmt.Errorf("%w: snapshot op %d", ErrBadFrame, op)
+				wc.writeError(err)
+				return err
+			}
+			if b := core.SnapshotOp(op); b != nil {
+				reply.u8(1)
+				encodeBatch(&reply, b)
+			} else {
+				reply.u8(0)
+			}
+			if err := wc.writeFrame(frameSnapshotResult, reply.b); err != nil {
+				return err
+			}
+		case frameRestore:
+			op := int(d.u16())
+			hasBatch := d.u8()
+			if op < 0 || op >= core.NumOps() || d.err != nil {
+				err := fmt.Errorf("%w: restore op %d", ErrBadFrame, op)
+				wc.writeError(err)
+				return err
+			}
+			if hasBatch == 1 {
+				snap, derr := decodeBatch(&d)
+				if derr != nil {
+					wc.writeError(derr)
+					return derr
+				}
+				core.RestoreOp(op, snap)
+			} else {
+				core.RestoreOp(op, nil)
+			}
+			if err := wc.writeFrame(frameOK, nil); err != nil {
+				return err
+			}
+		case frameClear:
+			op := int(d.u16())
+			if op < 0 || op >= core.NumOps() || d.err != nil {
+				err := fmt.Errorf("%w: clear op %d", ErrBadFrame, op)
+				wc.writeError(err)
+				return err
+			}
+			core.ClearOp(op)
+			if err := wc.writeFrame(frameOK, nil); err != nil {
+				return err
+			}
+		case framePing:
+			if err := wc.writeFrame(framePong, nil); err != nil {
+				return err
+			}
+		case frameQuit:
+			return nil
+		default:
+			err := fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, t)
+			wc.writeError(err)
+			return err
+		}
+	}
+}

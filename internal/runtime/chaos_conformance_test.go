@@ -117,6 +117,55 @@ func TestChaosConformanceSimVsEngine(t *testing.T) {
 	}
 }
 
+// TestChaosNetSubstrateSIGKILL is the distributed chaos acceptance run:
+// the scripted crash literally SIGKILLs a worker process mid-run, the
+// leader detects it, parks the node's backlog, and recovery respawns the
+// process and rebuilds its join windows from the last checkpoint. With a
+// 15 s checkpoint period, result completeness versus the fault-free
+// distributed run must stay at or above 0.9 — the same gate CI's
+// distributed-smoke job asserts end to end through cmd/rldrun.
+func TestChaosNetSubstrateSIGKILL(t *testing.T) {
+	q := conformanceQuery()
+	cl := cluster.NewHomogeneous(2, 1e6)
+	mkPol := func() rt.Policy {
+		return &rt.StaticPolicy{
+			PolicyName: "FIXED",
+			Plan:       query.Plan{1, 0},
+			Assign:     []int{0, 1},
+		}
+	}
+	mkNet := func() rt.Executor { return conformanceNetExecutor(q, cl) }
+	fp := confFaultPlan(chaos.Checkpoint)
+	fp.CheckpointEvery = 15 // tight snapshots: at most 15 s of window to lose
+	netC, netRep := completenessOn(t, mkNet, mkPol, fp)
+	t.Logf("net SIGKILL: completeness %.4f (produced %.0f, lost %.0f, restores %d)",
+		netC, netRep.Produced, netRep.TuplesLost, netRep.Restores)
+	if netRep.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", netRep.Crashes)
+	}
+	if math.Abs(netRep.DownSeconds-60) > 1e-6 {
+		t.Errorf("down seconds = %v, want 60", netRep.DownSeconds)
+	}
+	if netRep.Restores == 0 {
+		t.Error("recovery restored no checkpointed state into the respawned worker")
+	}
+	if netC < 0.9 {
+		t.Errorf("net completeness %.4f < 0.9 under SIGKILL + checkpoint recovery", netC)
+	}
+
+	// Lose-state on the net substrate: a respawned process starts empty,
+	// so output must visibly drop and losses must be counted.
+	lose := confFaultPlan(chaos.LoseState)
+	loseC, loseRep := completenessOn(t, mkNet, mkPol, lose)
+	t.Logf("net SIGKILL lose-state: completeness %.4f (lost %.0f)", loseC, loseRep.TuplesLost)
+	if loseRep.TuplesLost == 0 {
+		t.Error("lose-state crash lost nothing")
+	}
+	if loseC > 0.97 || loseC < 0.60 {
+		t.Errorf("lose-state completeness %.4f outside plausible (0.60, 0.97)", loseC)
+	}
+}
+
 // TestChaosHorizonClippingParity pins the edge alignment between the
 // substrates: a crash whose scripted recovery lies beyond the horizon
 // leaves the node down on both — downtime accrues to the horizon and the

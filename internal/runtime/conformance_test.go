@@ -26,6 +26,7 @@ import (
 	"rld/internal/core"
 	"rld/internal/engine"
 	"rld/internal/gen"
+	"rld/internal/netrt"
 	"rld/internal/paramspace"
 	"rld/internal/query"
 	rt "rld/internal/runtime"
@@ -126,6 +127,30 @@ func conformanceEngineExecutor(q *query.Query, cl *cluster.Cluster) rt.Executor 
 	}
 }
 
+// conformanceNetExecutor mirrors conformanceEngineExecutor on the
+// multi-process network substrate: same feed seeds, same calibration, but
+// every node is a real worker process (a re-exec of this test binary — see
+// TestMain) behind the netrt wire protocol.
+func conformanceNetExecutor(q *query.Query, cl *cluster.Cluster) rt.Executor {
+	domain := keyDomain(confRate2 * q.WindowSeconds)
+	srcs := make([]*gen.Source, len(q.Streams))
+	for i, s := range q.Streams {
+		srcs[i] = gen.NewSource(s,
+			gen.ConstProfile(q.Rates[s]),
+			gen.KeyDist{Cold: domain},
+			gen.Uniform{A: 0, B: 100}, 500+int64(i)*13)
+	}
+	ecfg := engine.DefaultConfig()
+	ecfg.MaxFanout = 0
+	return &netrt.Executor{
+		Query:   q,
+		Nodes:   cl.N(),
+		Feed:    rt.NewSourceFeed(srcs, confBatch, confHorizon),
+		Config:  ecfg,
+		Horizon: confHorizon,
+	}
+}
+
 // TestConformanceSimVsEngine is the cross-substrate acceptance check: for
 // each policy, the produced/ingested ratio of the two substrates must agree
 // within 15% relative tolerance (window warm-up, Poisson noise, and batch
@@ -141,6 +166,7 @@ func TestConformanceSimVsEngine(t *testing.T) {
 	// other.
 	simPols := conformancePolicies(t, q, cl)
 	engPols := conformancePolicies(t, q, cl)
+	netPols := conformancePolicies(t, q, cl)
 	for i, pol := range simPols {
 		simRep, err := simEx.Execute(pol)
 		if err != nil {
@@ -150,24 +176,38 @@ func TestConformanceSimVsEngine(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s/engine: %v", pol.Name(), err)
 		}
-		if simRep.Produced == 0 || engRep.Produced == 0 {
-			t.Fatalf("%s: empty run (sim %v, engine %v)", pol.Name(), simRep.Produced, engRep.Produced)
+		netRep, err := conformanceNetExecutor(q, cl).Execute(netPols[i])
+		if err != nil {
+			t.Fatalf("%s/net: %v", pol.Name(), err)
 		}
-		rs, re := simRep.OutputRatio(), engRep.OutputRatio()
-		t.Logf("%s: sim ratio %.4f (produced %.0f), engine ratio %.4f (produced %.0f), Πδ %.4f",
-			pol.Name(), rs, simRep.Produced, re, engRep.Produced, want)
+		if simRep.Produced == 0 || engRep.Produced == 0 || netRep.Produced == 0 {
+			t.Fatalf("%s: empty run (sim %v, engine %v, net %v)",
+				pol.Name(), simRep.Produced, engRep.Produced, netRep.Produced)
+		}
+		rs, re, rn := simRep.OutputRatio(), engRep.OutputRatio(), netRep.OutputRatio()
+		t.Logf("%s: sim ratio %.4f (produced %.0f), engine ratio %.4f (produced %.0f), net ratio %.4f (produced %.0f), Πδ %.4f",
+			pol.Name(), rs, simRep.Produced, re, engRep.Produced, rn, netRep.Produced, want)
 		if math.Abs(rs-want) > 0.05*want {
 			t.Errorf("%s: sim ratio %.4f differs from Πδ %.4f", pol.Name(), rs, want)
 		}
 		if math.Abs(re-rs) > 0.15*rs {
 			t.Errorf("%s: engine ratio %.4f vs sim ratio %.4f (>15%%)", pol.Name(), re, rs)
 		}
+		if math.Abs(rn-rs) > 0.15*rs {
+			t.Errorf("%s: net ratio %.4f vs sim ratio %.4f (>15%%)", pol.Name(), rn, rs)
+		}
+		// Same feed seeds, same kernels behind a wire: the two live
+		// substrates should track each other tighter than either tracks
+		// the analytic simulator.
+		if math.Abs(rn-re) > 0.15*re {
+			t.Errorf("%s: net ratio %.4f vs engine ratio %.4f (>15%%)", pol.Name(), rn, re)
+		}
 	}
 }
 
 // TestConformanceStaticPolicyBothSubstrates runs the same StaticPolicy on
-// both substrates — the minimal policy implementation must be sufficient
-// for either executor.
+// every substrate — the minimal policy implementation must be sufficient
+// for each executor.
 func TestConformanceStaticPolicyBothSubstrates(t *testing.T) {
 	q := conformanceQuery()
 	cl := cluster.NewHomogeneous(2, 1e6)
@@ -176,7 +216,11 @@ func TestConformanceStaticPolicyBothSubstrates(t *testing.T) {
 		Plan:       query.Plan{1, 0},
 		Assign:     []int{0, 1},
 	}
-	for _, ex := range []rt.Executor{conformanceSimExecutor(q, cl), conformanceEngineExecutor(q, cl)} {
+	for _, ex := range []rt.Executor{
+		conformanceSimExecutor(q, cl),
+		conformanceEngineExecutor(q, cl),
+		conformanceNetExecutor(q, cl),
+	} {
 		rep, err := ex.Execute(pol)
 		if err != nil {
 			t.Fatalf("%s: %v", ex.Substrate(), err)

@@ -1,0 +1,27 @@
+package runtime_test
+
+import (
+	"fmt"
+	"os"
+	stdruntime "runtime"
+	"testing"
+
+	"rld/internal/netrt"
+)
+
+// TestMain makes this test binary usable as a netrt worker (the net
+// substrate's conformance runs spawn workers by re-executing it) and gates
+// the package on leaks: after a green run, no worker process may still be
+// alive and the goroutine count must settle back near the baseline.
+func TestMain(m *testing.M) {
+	netrt.MaybeWorker()
+	baseline := stdruntime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := netrt.CheckLeaks(baseline, 8, stdruntime.NumGoroutine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

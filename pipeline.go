@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rld/internal/engine"
+	"rld/internal/netrt"
 	"rld/internal/runtime"
 	"rld/internal/sim"
 	"rld/internal/stream"
@@ -78,6 +79,9 @@ type pipelineConfig struct {
 	havePending  bool
 	sim          *Scenario
 	batchSize    int
+	distributed  bool
+	distNodes    int
+	workerCmd    []string
 }
 
 // Option configures Open — the functional-option replacement for filling
@@ -141,6 +145,32 @@ func WithMaxPending(n int) Option {
 // tuple counts. The scenario's nil fields default from the deployment.
 func WithSimulation(sc *Scenario) Option { return func(c *pipelineConfig) { c.sim = sc } }
 
+// WithDistributed opens the pipeline on the multi-process network
+// substrate: each node is a real OS worker process owning its share of
+// the join windows, spoken to over a local TCP wire protocol, with the
+// leader embedded in the Pipeline. n is the worker-process count; n <= 0
+// means the deployment's cluster size (the policy's placement must fit
+// either way). Crash is a literal SIGKILL of the node's process and
+// Recover a respawn with checkpoint restore — see README "Distributed
+// mode" for the failure-semantics differences from the in-process engine.
+//
+// The worker processes are launched by re-executing the current binary,
+// so main (or TestMain) must call MaybeWorker first thing; alternatively
+// point WithWorkerCommand at a dedicated worker binary (cmd/rldworker).
+// Mutually exclusive with WithSimulation.
+func WithDistributed(n int) Option {
+	return func(c *pipelineConfig) { c.distributed = true; c.distNodes = n }
+}
+
+// WithWorkerCommand sets the argv prefix used to launch distributed-mode
+// worker processes (it receives -leader, -node, and -epoch flags), e.g.
+// the cmd/rldworker binary. Empty (the default) re-executes the current
+// binary, which must call MaybeWorker. Implies nothing without
+// WithDistributed.
+func WithWorkerCommand(argv ...string) Option {
+	return func(c *pipelineConfig) { c.workerCmd = argv }
+}
+
 // WithClassifyBatch sets the ruster size used to account the default RLD
 // policy's classification overhead when Open is called with a nil policy
 // (default 100, the paper's minimum).
@@ -195,6 +225,9 @@ func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pi
 		}
 		pol = dep.NewPolicy(bs)
 	}
+	if cfg.sim != nil && cfg.distributed {
+		return nil, fmt.Errorf("rld: WithSimulation and WithDistributed are mutually exclusive")
+	}
 	if cfg.sim != nil {
 		sc := *cfg.sim
 		if sc.Query == nil {
@@ -221,15 +254,37 @@ func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pi
 		}
 		return &Pipeline{s: s}, nil
 	}
+	nNodes := dep.Cluster.N()
+	if cfg.distributed && cfg.distNodes > 0 {
+		nNodes = cfg.distNodes
+	}
 	maxPending := cfg.maxPending
 	if !cfg.havePending {
 		inbox := cfg.engine.InboxSize
 		if inbox < 1 {
 			inbox = 1024
 		}
-		maxPending = inbox * dep.Cluster.N()
+		maxPending = inbox * nNodes
 	}
-	s, err := engine.OpenSession(dep.Query, dep.Cluster.N(), pol, engine.SessionOptions{
+	if cfg.distributed {
+		s, err := netrt.OpenSession(dep.Query, nNodes, pol, netrt.Options{
+			Session: engine.SessionOptions{
+				Config:       cfg.engine,
+				TickEvery:    cfg.tickEvery,
+				Faults:       cfg.faults,
+				Horizon:      cfg.horizon,
+				ResultBuffer: cfg.resultBuffer,
+				EventBuffer:  cfg.eventBuffer,
+				MaxPending:   maxPending,
+			},
+			Cluster: netrt.ClusterConfig{WorkerCommand: cfg.workerCmd},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Pipeline{s: s}, nil
+	}
+	s, err := engine.OpenSession(dep.Query, nNodes, pol, engine.SessionOptions{
 		Config:       cfg.engine,
 		TickEvery:    cfg.tickEvery,
 		Faults:       cfg.faults,
@@ -244,7 +299,16 @@ func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pi
 	return &Pipeline{s: s}, nil
 }
 
-// Substrate reports what executes the pipeline ("engine" or "sim").
+// MaybeWorker turns this process into a distributed-mode worker if it was
+// spawned as one (a WithDistributed leader re-executes its own binary with
+// a worker environment variable set). It must run before anything else in
+// main (or TestMain) of any binary that opens distributed pipelines
+// without WithWorkerCommand; when the variable is set it serves the worker
+// loop and exits, never returning. In ordinary processes it is a no-op.
+func MaybeWorker() { netrt.MaybeWorker() }
+
+// Substrate reports what executes the pipeline ("engine", "sim", or
+// "net" in distributed mode).
 func (p *Pipeline) Substrate() string { return p.s.Substrate() }
 
 // Ingest admits one batch, blocking while the pipeline is at its in-flight
