@@ -1,0 +1,23 @@
+// Package analyzers is the registry of the repository's invariant
+// analyzers — the single list cmd/rldlint and the self-check test share.
+package analyzers
+
+import (
+	"rld/internal/lint"
+	"rld/internal/lint/atomicmix"
+	"rld/internal/lint/batchrelease"
+	"rld/internal/lint/rawerror"
+	"rld/internal/lint/unboundedgo"
+	"rld/internal/lint/wallclock"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		atomicmix.Analyzer,
+		batchrelease.Analyzer,
+		rawerror.Analyzer,
+		unboundedgo.Analyzer,
+		wallclock.Analyzer,
+	}
+}

@@ -1,0 +1,105 @@
+// Package atomicmix pins the atomic-field access discipline behind PR 5's
+// lock-free admission path: a struct field that is accessed through
+// sync/atomic anywhere in a package must never be read or written plainly
+// — a single plain access races against every atomic one and the type
+// system says nothing. The live pins are the engine session's vnow and
+// nextEdge and the engine's downCount: today they are typed atomics
+// (immune by construction); this analyzer keeps any refactor toward
+// `plain field + atomic.LoadX(&f)` honest.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rld/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly (PR 5)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	// Pass 1: fields passed by address to sync/atomic functions, and the
+	// selector nodes so blessed.
+	atomicAt := make(map[*types.Var]ast.Node)
+	blessed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(pass, sel); fld != nil {
+					if _, seen := atomicAt[fld]; !seen {
+						atomicAt[fld] = sel
+					}
+					blessed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+	// Pass 2: every other selector resolving to a tracked field is a
+	// plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			fld := fieldOf(pass, sel)
+			if fld == nil {
+				return true
+			}
+			if first, tracked := atomicAt[fld]; tracked {
+				pass.Reportf(sel.Pos(), "plain access to field %q, which is accessed with sync/atomic at %s; all access must go through sync/atomic (PR 5 lock-free discipline)",
+					fld.Name(), pass.Fset.Position(first.Pos()))
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call targets a sync/atomic package function.
+func isAtomicCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	_, isFunc := pass.Info.Uses[sel.Sel].(*types.Func)
+	return isFunc
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(pass *lint.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

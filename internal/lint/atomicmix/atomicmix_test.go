@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/atomicmix"
+	"rld/internal/lint/linttest"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, atomicmix.Analyzer, "testdata/bad", "internal/engine")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, atomicmix.Analyzer, "testdata/good", "internal/engine")
+}

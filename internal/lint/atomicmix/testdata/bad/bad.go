@@ -1,0 +1,23 @@
+// Package a is the atomicmix known-bad corpus: fields accessed through
+// sync/atomic in one place and plainly in another.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	n int64
+	m int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.n // want "plain access to field"
+}
+
+func (c *counters) mixWrite() {
+	atomic.StoreInt64(&c.m, 7)
+	c.m = 8 // want "plain access to field"
+}

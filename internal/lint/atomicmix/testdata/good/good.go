@@ -1,0 +1,29 @@
+// Package b is the atomicmix known-good corpus: fields are either always
+// atomic, always plain, or typed atomics (immune by construction).
+package b
+
+import "sync/atomic"
+
+type counters struct {
+	n     int64
+	typed atomic.Int64
+	plain int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counters) swap(v int64) int64 {
+	return atomic.SwapInt64(&c.n, v)
+}
+
+func (c *counters) others() int64 {
+	c.plain++
+	c.typed.Add(2)
+	return c.typed.Load() + c.plain
+}

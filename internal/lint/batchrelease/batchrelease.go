@@ -1,0 +1,361 @@
+// Package batchrelease pins PR 6's pooled-batch ownership protocol: a
+// batch obtained from stream.AcquireBatch is pool-owned, so every acquire
+// must be accounted for — Released, returned to the caller, stored where a
+// later Release can find it (field/slice/map/channel escape), or handed to
+// a sink that documents consumption with a //rldlint:consumes-batch doc
+// comment. The check is flow-insensitive: it proves "some use accounts for
+// the batch somewhere in this function", which catches dropped results and
+// fire-and-forget acquires, not branch-level leaks.
+package batchrelease
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rld/internal/lint"
+)
+
+// consumesDoc marks a function declaration whose batch arguments are
+// consumed (released or owned) by the callee.
+const consumesDoc = "//rldlint:consumes-batch"
+
+var Analyzer = &lint.Analyzer{
+	Name: "batchrelease",
+	Doc:  "every stream.AcquireBatch must reach Release, a return, an escape, or a consuming sink (PR 6)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	sinks := consumingSinks(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, sinks, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc verifies every AcquireBatch call directly inside body (nested
+// function literals check themselves).
+func checkFunc(pass *lint.Pass, sinks map[types.Object]bool, body *ast.BlockStmt) {
+	for _, call := range acquireCalls(pass, body) {
+		owner := assignedVar(pass, body, call)
+		if owner == nil {
+			// Result not bound to a variable: returning it, storing it
+			// (field/element/channel escape), or passing it straight to a
+			// consuming sink keeps the pool whole.
+			if returned(body, call) || escapesDirectly(body, call) || consumedDirectly(pass, sinks, body, call) {
+				continue
+			}
+			pass.Reportf(call.Pos(), "batch from stream.AcquireBatch is dropped: the pooled batch never reaches Release, a return, or a consuming sink (PR 6 ownership protocol)")
+			continue
+		}
+		vars := aliases(pass, body, owner)
+		if accounted(pass, sinks, body, vars) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "batch %q from stream.AcquireBatch never reaches Release, a return, an escape, or a consuming sink (PR 6 ownership protocol)", owner.Name())
+	}
+}
+
+// acquireCalls finds calls to stream.AcquireBatch (or its rld re-export)
+// lexically within body but not inside nested function literals.
+func acquireCalls(pass *lint.Pass, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAcquire(pass, call) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// isAcquire reports whether call is stream.AcquireBatch / rld.AcquireBatch.
+func isAcquire(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "AcquireBatch" || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return strings.HasSuffix(p, "internal/stream") || p == "rld"
+}
+
+// assignedVar returns the variable the call's result is bound to by a
+// simple assignment or var declaration, or nil.
+func assignedVar(pass *lint.Pass, body *ast.BlockStmt, call *ast.CallExpr) *types.Var {
+	var owner *types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if rhs == ast.Expr(call) && i < len(n.Lhs) {
+					owner = identVar(pass, n.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if v == ast.Expr(call) && i < len(n.Names) {
+					if o, ok := pass.Info.Defs[n.Names[i]].(*types.Var); ok {
+						owner = o
+					}
+				}
+			}
+		}
+		return true
+	})
+	return owner
+}
+
+// identVar resolves a plain identifier expression to its variable.
+func identVar(pass *lint.Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return o
+	}
+	if o, ok := pass.Info.Uses[id].(*types.Var); ok {
+		return o
+	}
+	return nil
+}
+
+// aliases grows the owner set through plain variable-to-variable copies
+// (w := v, w = v) so Release through an alias still counts.
+func aliases(pass *lint.Pass, body *ast.BlockStmt, owner *types.Var) map[*types.Var]bool {
+	vars := map[*types.Var]bool{owner: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range a.Rhs {
+				src := identVar(pass, rhs)
+				if src == nil || !vars[src] || i >= len(a.Lhs) {
+					continue
+				}
+				if dst := identVar(pass, a.Lhs[i]); dst != nil && !vars[dst] {
+					vars[dst] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return vars
+}
+
+// accounted reports whether any tracked variable reaches an accounting
+// use anywhere in body.
+func accounted(pass *lint.Pass, sinks map[types.Object]bool, body *ast.BlockStmt, vars map[*types.Var]bool) bool {
+	found := false
+	isTracked := func(e ast.Expr) bool {
+		v := identVar(pass, e)
+		return v != nil && vars[v]
+	}
+	// ownsTracked reports whether the expression hands the batch itself
+	// onward (directly, inside a composite literal, or through append) —
+	// as opposed to merely using it, like b.Len() inside a return.
+	var ownsTracked func(n ast.Node) bool
+	ownsTracked = func(n ast.Node) bool {
+		hit := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if hit {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				// append forwards ownership into the slice; any other
+				// call is a use, not a transfer.
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						for _, a := range call.Args {
+							if ownsTracked(a) {
+								hit = true
+							}
+						}
+					}
+				}
+				return false
+			}
+			if id, ok := m.(*ast.Ident); ok && isTracked(id) {
+				hit = true
+			}
+			return !hit
+		})
+		return hit
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Release() (also via defer), or v passed to a consuming sink.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Release" && isTracked(sel.X) {
+				found = true
+				return false
+			}
+			if sinkCall(pass, sinks, n) {
+				for _, arg := range n.Args {
+					if isTracked(arg) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if ownsTracked(r) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if ownsTracked(n.Value) {
+				found = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// Escape: stored through a field, element, or pointer target
+			// — ownership moves to the structure's owner.
+			escapes := false
+			for _, lhs := range n.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					escapes = true
+				}
+			}
+			if escapes {
+				for _, rhs := range n.Rhs {
+					if ownsTracked(rhs) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returned reports whether the call expression itself is a return operand.
+func returned(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				if r == ast.Expr(call) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// escapesDirectly reports whether the call's result is stored through a
+// field, element, or pointer target, or sent on a channel, without an
+// intermediate variable.
+func escapesDirectly(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if rhs != ast.Expr(call) || i >= len(n.Lhs) {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if n.Value == ast.Expr(call) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// consumedDirectly reports whether the acquire call is itself an argument
+// to a consuming sink.
+func consumedDirectly(pass *lint.Pass, sinks map[types.Object]bool, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if outer, ok := n.(*ast.CallExpr); ok && sinkCall(pass, sinks, outer) {
+			for _, arg := range outer.Args {
+				if arg == ast.Expr(call) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sinkCall reports whether the call targets a consuming sink.
+func sinkCall(pass *lint.Pass, sinks map[types.Object]bool, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return sinks[pass.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		return sinks[pass.Info.Uses[fun.Sel]]
+	}
+	return false
+}
+
+// consumingSinks collects the in-package functions whose doc comments
+// carry the //rldlint:consumes-batch marker.
+func consumingSinks(pass *lint.Pass) map[types.Object]bool {
+	sinks := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, consumesDoc) {
+					if obj := pass.Info.Defs[fd.Name]; obj != nil {
+						sinks[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return sinks
+}

@@ -1,0 +1,16 @@
+package batchrelease_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/batchrelease"
+	"rld/internal/lint/linttest"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, batchrelease.Analyzer, "testdata/bad", "internal/runtime")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, batchrelease.Analyzer, "testdata/good", "internal/runtime")
+}

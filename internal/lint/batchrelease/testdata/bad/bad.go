@@ -1,0 +1,29 @@
+// Package a is the batchrelease known-bad corpus: pooled batches that
+// never reach Release, a return, an escape, or a consuming sink.
+package a
+
+import "rld/internal/stream"
+
+func leak() int {
+	b := stream.AcquireBatch("s", 2) // want "never reaches Release"
+	b.AppendRow(1, 0, 7, 0)
+	return b.Len()
+}
+
+func dropped() {
+	stream.AcquireBatch("s", 1) // want "dropped"
+}
+
+func blackhole() int {
+	_ = stream.AcquireBatch("s", 1) // want "dropped"
+	return 0
+}
+
+// observe is not annotated as consuming, so handing the batch over does
+// not account for it.
+func observe(b *stream.Batch) {}
+
+func lostToPlainCall() {
+	b := stream.AcquireBatch("s", 1) // want "never reaches Release"
+	observe(b)
+}

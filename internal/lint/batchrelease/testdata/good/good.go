@@ -1,0 +1,59 @@
+// Package b is the batchrelease known-good corpus: every acquire is
+// accounted for — released (possibly via an alias or defer), returned,
+// escaped into a longer-lived structure, or handed to an annotated sink.
+package b
+
+import "rld/internal/stream"
+
+type holder struct {
+	cur  *stream.Batch
+	ring []*stream.Batch
+}
+
+func releases() {
+	b := stream.AcquireBatch("s", 1)
+	defer b.Release()
+	b.AppendRow(1, 0, 7, 0)
+}
+
+func returns() *stream.Batch {
+	b := stream.AcquireBatch("s", 1)
+	return b
+}
+
+func returnsDirect() *stream.Batch {
+	return stream.AcquireBatch("s", 1)
+}
+
+func viaAlias() {
+	b := stream.AcquireBatch("s", 1)
+	w := b
+	w.Release()
+}
+
+func escapesField(h *holder) {
+	h.cur = stream.AcquireBatch("s", 1)
+}
+
+func escapesSlice(h *holder) {
+	b := stream.AcquireBatch("s", 1)
+	h.ring = append(h.ring, b)
+}
+
+func escapesChannel(ch chan *stream.Batch) {
+	ch <- stream.AcquireBatch("s", 1)
+}
+
+//rldlint:consumes-batch — sink owns and releases its argument.
+func sink(b *stream.Batch) {
+	b.Release()
+}
+
+func viaSink() {
+	b := stream.AcquireBatch("s", 1)
+	sink(b)
+}
+
+func viaSinkDirect() {
+	sink(stream.AcquireBatch("s", 1))
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces the in-source escape hatch:
+//
+//	//rldlint:allow wallclock -- reason the invariant is intentionally bent
+const allowPrefix = "//rldlint:allow"
+
+// directive is one parsed //rldlint:allow comment with its computed scope.
+type directive struct {
+	analyzers map[string]bool
+	file      string
+	// line suppresses same-file same-line diagnostics (trailing form).
+	line int
+	// lo/hi, when set, suppress diagnostics positioned inside the next
+	// statement (standalone form).
+	lo, hi token.Pos
+}
+
+type directiveSet struct {
+	fset *token.FileSet
+	dirs []directive
+}
+
+// suppresses reports whether an allow directive covers the diagnostic.
+func (s directiveSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s.dirs {
+		if !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.file == d.Pos.Filename && dir.line == d.Pos.Line {
+			return true
+		}
+		if dir.lo.IsValid() {
+			lo, hi := s.fset.Position(dir.lo), s.fset.Position(dir.hi)
+			if lo.Filename == d.Pos.Filename &&
+				(d.Pos.Line > lo.Line || (d.Pos.Line == lo.Line && d.Pos.Column >= lo.Column)) &&
+				(d.Pos.Line < hi.Line || (d.Pos.Line == hi.Line && d.Pos.Column <= hi.Column)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //rldlint:allow comment in the package
+// and computes its suppression scope. Malformed directives (no analyzer
+// list, or no " -- reason") are returned as diagnostics under the
+// reserved analyzer name "rldlint".
+func collectDirectives(pkg *Package) (directiveSet, []Diagnostic) {
+	set := directiveSet{fset: pkg.Fset}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Analyzer: "rldlint",
+						Pos:      pos,
+						Message:  `malformed //rldlint:allow directive: want "//rldlint:allow <analyzer>[,<analyzer>] -- reason"`,
+					})
+					continue
+				}
+				d := directive{analyzers: names, file: pos.Filename}
+				if trailing(pkg.Src[pos.Filename], pos) {
+					// Trailing form: the directive shares its line with
+					// code and covers exactly that line.
+					d.line = pos.Line
+				} else {
+					// Standalone form: cover the next statement (or decl,
+					// spec, field, or composite-literal element) — and
+					// nothing past it.
+					if n := nextNode(f, c.End()); n != nil {
+						d.lo, d.hi = n.Pos(), n.End()
+					}
+				}
+				set.dirs = append(set.dirs, d)
+			}
+		}
+	}
+	return set, bad
+}
+
+// parseAllow splits "//rldlint:allow a,b -- reason" into the analyzer set,
+// failing without both an analyzer list and a nonempty reason.
+func parseAllow(text string) (map[string]bool, bool) {
+	rest := strings.TrimPrefix(text, allowPrefix)
+	list, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	names := make(map[string]bool)
+	for _, field := range strings.Fields(list) {
+		for _, name := range strings.Split(field, ",") {
+			if name != "" {
+				names[name] = true
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	return names, true
+}
+
+// trailing reports whether source code precedes the comment on its line.
+func trailing(src []byte, pos token.Position) bool {
+	if len(src) == 0 || pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return false
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// nextNode returns the outermost statement-like node beginning at the
+// first position after from: the scope of a standalone allow directive.
+func nextNode(f *ast.File, from token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field, *ast.KeyValueExpr:
+		default:
+			return true
+		}
+		if n.Pos() < from {
+			return true
+		}
+		// Smallest start wins; on a tie the widest node (the whole
+		// statement, not a sub-expression sharing its start) wins.
+		if best == nil || n.Pos() < best.Pos() ||
+			(n.Pos() == best.Pos() && n.End() > best.End()) {
+			best = n
+		}
+		return true
+	})
+	return best
+}

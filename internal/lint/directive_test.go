@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+)
+
+// fakeAnalyzer flags every call to a function named flagme.
+var fakeAnalyzer = &Analyzer{
+	Name: "fake",
+	Doc:  "flags calls to flagme (directive-scoping tests)",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(call.Pos(), "flagme called")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// TestAllowDirectiveScope pins the escape hatch's reach: a standalone
+// directive suppresses exactly the next statement, a trailing directive
+// exactly its own line, and a malformed or mismatched directive
+// suppresses nothing.
+func TestAllowDirectiveScope(t *testing.T) {
+	l := newTestLoader(t)
+	dir, err := filepath.Abs("testdata/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(dir, "internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{fakeAnalyzer})
+
+	byLine := make(map[int][]string)
+	for _, d := range diags {
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d.Analyzer)
+	}
+	// One finding per line; see testdata/directive/directive.go for what
+	// sits on each.
+	want := map[int]string{
+		11: "fake",    // second statement after a standalone directive
+		16: "fake",    // call on the line after a trailing directive
+		24: "fake",    // statement after the multi-line covered statement
+		29: "fake",    // directive names a different analyzer
+		33: "rldlint", // the reasonless directive itself is malformed
+		34: "fake",    // and suppresses nothing
+	}
+	for line, analyzer := range want {
+		got := byLine[line]
+		if len(got) != 1 || got[0] != analyzer {
+			t.Errorf("line %d: diagnostics %v, want exactly one from %q", line, got, analyzer)
+		}
+		delete(byLine, line)
+	}
+	for line, got := range byLine {
+		t.Errorf("line %d: unexpected diagnostics %v (suppression leaked or failed)", line, got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package lint is the repository's in-repo static-analysis engine: a
+// stdlib-only driver (go/parser + go/types + go/importer, the same
+// no-new-dependency stance as internal/apisurface) that loads every package
+// in the module and runs project-invariant analyzers over them. The
+// analyzers pin contracts that the type system cannot: the virtual-clock
+// discipline (PR 5), the pooled-batch ownership protocol (PR 6), the
+// typed-sentinel error contract (PR 3/PR 7), atomic-field access
+// discipline, and the flat-goroutine guarantee.
+//
+// A finding that is intentional is annotated in place with
+//
+//	//rldlint:allow <analyzer>[,<analyzer>...] -- reason
+//
+// A trailing directive (code before it on the same line) suppresses
+// matching diagnostics on that line only; a directive on its own line
+// suppresses them inside the next statement (or declaration, spec, or
+// composite-literal element) only — it never leaks further. The reason
+// after " -- " is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only filters, and
+	// allow directives.
+	Name string
+	// Doc is a one-line description of the pinned invariant.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// RelPath is the module-relative package directory ("" for the module
+	// root, "internal/engine", ...). Analyzers use it to scope themselves;
+	// the golden-test harness overrides it so corpora exercise scoped
+	// analyzers from testdata directories.
+	RelPath string
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DeclOf returns the package-level declaration of the function object, or
+// nil. Analyzers use it to resolve in-package callees (e.g. unboundedgo
+// following `go c.dispatcher(...)` into dispatcher's body).
+func (p *Pass) DeclOf(obj types.Object) *ast.FuncDecl {
+	if obj == nil {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && p.Info.Defs[fd.Name] == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics: findings suppressed by a scoped //rldlint:allow directive
+// are dropped, and malformed directives are reported under the reserved
+// analyzer name "rldlint". Diagnostics are sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, dirDiags := collectDirectives(pkg)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				analyzer: a,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !dirs.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, dirDiags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

@@ -1,0 +1,109 @@
+// Package linttest is the shared golden-diagnostics harness for the
+// analyzer corpora. A corpus directory is one package of known-bad or
+// known-good snippets; expected findings are written inline as
+//
+//	someBadCall() // want "substring of the diagnostic"
+//
+// with several quoted substrings allowed per comment when one line
+// triggers several findings. Run loads the directory as though it lived at
+// a chosen module-relative path (so path-scoped analyzers fire), runs one
+// analyzer, and fails on any mismatch in either direction: a diagnostic
+// with no matching want, or a want with no matching diagnostic.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rld/internal/lint"
+)
+
+// Run checks analyzer a against the corpus in dir, loaded as though at
+// module-relative path as.
+func Run(t *testing.T, a *lint.Analyzer, dir, as string) {
+	t.Helper()
+	pkg := load(t, dir, as)
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	wants := collectWants(t, pkg)
+
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		key := posKey(d.Pos.Filename, d.Pos.Line)
+		hit := false
+		for _, w := range wants[key] {
+			if strings.Contains(d.Message, w.substr) {
+				matched[w] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s: no diagnostic matching want %q", key, w.substr)
+			}
+		}
+	}
+}
+
+// load loads one corpus package, failing the test on load errors.
+func load(t *testing.T, dir, as string) *lint.Package {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(abs, as)
+	if err != nil {
+		t.Fatalf("load corpus %s: %v", dir, err)
+	}
+	return pkg
+}
+
+type want struct{ substr string }
+
+var wantRE = regexp.MustCompile(`// want((?: "(?:[^"\\]|\\.)*")+)`)
+var quoteRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses the `// want "..."` expectations, keyed by file:line.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				for _, q := range quoteRE.FindAllStringSubmatch(m[1], -1) {
+					wants[key] = append(wants[key], &want{substr: q[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(file string, line int) string {
+	return filepath.Base(file) + ":" + strconv.Itoa(line)
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus everything the
+// analyzers and the directive scanner need.
+type Package struct {
+	// RelPath is the module-relative directory ("" for the module root).
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Src holds each file's bytes, keyed by the parsed filename; the
+	// directive scanner uses it to tell trailing from standalone comments.
+	Src map[string][]byte
+}
+
+// Loader loads module packages from source. Imports inside the module
+// resolve recursively through the loader itself; everything else (the
+// standard library) resolves through go/importer's export-data importer,
+// falling back to its source importer. No tooling outside the stdlib.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+	Fset    *token.FileSet
+
+	std     types.Importer
+	srcFall types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	return &Loader{
+		Root:    root,
+		ModPath: mod,
+		Fset:    token.NewFileSet(),
+		std:     importer.Default(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source through the loader; anything else is treated as standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath {
+		p, err := l.Load("")
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		p, err := l.Load(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	// Toolchains without export data for this package: type-check the
+	// stdlib package from source instead.
+	if l.srcFall == nil {
+		l.srcFall = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	pkg, srcErr := l.srcFall.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("lint: import %q: %v (source fallback: %v)", path, err, srcErr)
+	}
+	return pkg, nil
+}
+
+// Load loads and type-checks the package at the module-relative directory
+// rel ("" for the root package), memoized.
+func (l *Loader) Load(rel string) (*Package, error) {
+	if p, ok := l.pkgs[rel]; ok {
+		return p, nil
+	}
+	if l.loading[rel] {
+		return nil, fmt.Errorf("lint: import cycle through %q", l.importPath(rel))
+	}
+	l.loading[rel] = true
+	defer delete(l.loading, rel)
+	p, err := l.check(filepath.Join(l.Root, filepath.FromSlash(rel)), rel, l.importPath(rel))
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[rel] = p
+	return p, nil
+}
+
+// LoadDirAs loads the package in dir as though it lived at the
+// module-relative path as — the hook the analyzer corpora use so a
+// testdata directory exercises a path-scoped analyzer. Results are not
+// memoized and never shadow real packages.
+func (l *Loader) LoadDirAs(dir, as string) (*Package, error) {
+	return l.check(dir, as, l.ModPath+"/__lint_testdata__/"+as)
+}
+
+// importPath maps a module-relative directory to its import path.
+func (l *Loader) importPath(rel string) string {
+	if rel == "" {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + rel
+}
+
+// check parses and type-checks one directory's non-test Go files.
+func (l *Loader) check(dir, rel, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	pkg := &Package{
+		RelPath: rel,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Src:     make(map[string][]byte),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(l.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Src[path] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, l.Fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		const keep = 5
+		if len(typeErrs) > keep {
+			typeErrs = append(typeErrs[:keep], fmt.Errorf("... and %d more", len(typeErrs)-keep))
+		}
+		return nil, fmt.Errorf("lint: type-check %s: %w", pkgPath, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", pkgPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// LoadAll loads every package directory under the module root, skipping
+// testdata, vendor, hidden, and underscore-prefixed directories. Test
+// files are not analyzed: the invariants pin production control paths, and
+// tests legitimately use wall clocks and raw errors.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var rels []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.Root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") ||
+			strings.HasPrefix(d.Name(), ".") || strings.HasPrefix(d.Name(), "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		if len(rels) == 0 || rels[len(rels)-1] != rel {
+			rels = append(rels, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	sort.Strings(rels)
+	var pkgs []*Package
+	for _, rel := range rels {
+		p, err := l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

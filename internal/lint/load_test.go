@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestTypeErrorIsLoadError pins the driver's failure mode: a package that
+// does not type-check must come back as an error from Load — not a panic,
+// and not a silently analyzable package with holes in its type info.
+func TestTypeErrorIsLoadError(t *testing.T) {
+	l := newTestLoader(t)
+	dir, err := filepath.Abs("testdata/typeerror")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(dir, "internal/engine")
+	if err == nil {
+		t.Fatalf("type-error package loaded without error: %+v", pkg)
+	}
+	if !strings.Contains(err.Error(), "type-check") {
+		t.Fatalf("load error does not identify the type-check failure: %v", err)
+	}
+}
+
+// TestLoadModulePackage smoke-tests module-path import resolution: the
+// stream package loads, and so does a package that imports it plus the
+// standard library.
+func TestLoadModulePackage(t *testing.T) {
+	l := newTestLoader(t)
+	p, err := l.Load("internal/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types == nil || p.Types.Name() != "stream" {
+		t.Fatalf("unexpected package: %+v", p.Types)
+	}
+	if _, err := l.Load("internal/runtime"); err != nil {
+		t.Fatalf("package importing internal/stream failed to load: %v", err)
+	}
+}
+
+// TestModPathResolution pins the importer split: module-internal paths go
+// through the loader, everything else through the stdlib importer.
+func TestModPathResolution(t *testing.T) {
+	l := newTestLoader(t)
+	if l.ModPath != "rld" {
+		t.Fatalf("module path = %q, want rld", l.ModPath)
+	}
+	if _, err := l.Import("rld/internal/stream"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Import("fmt"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package rawerror pins the typed-sentinel error contract (PR 3/PR 7) on
+// the wire and API surfaces: in internal/netrt and the public rld package,
+// code must not mint new error roots. errors.New is legal only inside
+// package-level var blocks (that is where sentinels are born), and
+// fmt.Errorf must wrap — carry a %w — so every error chain bottoms out in
+// a typed sentinel that callers can errors.Is against.
+package rawerror
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rld/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "rawerror",
+	Doc:  "wire/API error construction must wrap a typed sentinel (PR 3/PR 7)",
+	Run:  run,
+}
+
+// scoped lists the packages under the typed-sentinel contract.
+var scoped = map[string]bool{
+	"":               true, // the public rld package
+	"internal/netrt": true,
+}
+
+func run(pass *lint.Pass) {
+	if !scoped[pass.RelPath] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				// Package-level var blocks are the sentinel nursery.
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isPkgCall(pass, call, "errors", "New"):
+					pass.Reportf(call.Pos(), "errors.New outside a package-level sentinel var block on a wire/API path; wrap a typed sentinel instead (PR 3/PR 7 error contract)")
+				case isPkgCall(pass, call, "fmt", "Errorf"):
+					if !wraps(pass, call) {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w on a wire/API path; wrap a typed sentinel or an upstream error (PR 3/PR 7 error contract)")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPkgCall reports whether call is pkg.name for the named stdlib package.
+func isPkgCall(pass *lint.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}
+
+// wraps reports whether the Errorf format (a constant string) contains %w.
+// Non-constant formats cannot be proven to wrap and count as bare.
+func wraps(pass *lint.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

@@ -1,0 +1,42 @@
+package rawerror_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rld/internal/lint"
+	"rld/internal/lint/linttest"
+	"rld/internal/lint/rawerror"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, rawerror.Analyzer, "testdata/bad", "internal/netrt")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, rawerror.Analyzer, "testdata/good", "internal/netrt")
+}
+
+// TestOutOfScope pins the analyzer's reach: the same bad corpus loaded as
+// a package outside the wire/API surface must produce no findings.
+func TestOutOfScope(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs("testdata/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(abs, "internal/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{rawerror.Analyzer}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", diags)
+	}
+}

@@ -1,0 +1,25 @@
+// Package a is the rawerror known-bad corpus, loaded as internal/netrt:
+// new error roots minted on a wire/API path.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bare() error {
+	return errors.New("a: raw root") // want "errors.New outside a package-level sentinel"
+}
+
+func plain(n int) error {
+	return fmt.Errorf("a: boom %d", n) // want "fmt.Errorf without"
+}
+
+func dynamic(format string, err error) error {
+	return fmt.Errorf(format, err) // want "fmt.Errorf without"
+}
+
+func localSentinel() error {
+	var errLocal = errors.New("a: local") // want "errors.New outside a package-level sentinel"
+	return errLocal
+}

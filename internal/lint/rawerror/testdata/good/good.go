@@ -1,0 +1,31 @@
+// Package b is the rawerror known-good corpus, loaded as internal/netrt:
+// sentinels are born in package-level var blocks and every construction
+// wraps one (or an upstream error) with %w.
+package b
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrThing is a typed sentinel: package-level var blocks are the one
+// place errors.New is legal on these paths.
+var ErrThing = errors.New("b: thing")
+
+var (
+	// ErrOther shows grouped sentinel blocks are fine too.
+	ErrOther = errors.New("b: other")
+)
+
+func typed(n int) error {
+	return fmt.Errorf("%w: op %d", ErrThing, n)
+}
+
+func propagate(err error) error {
+	return fmt.Errorf("b: while frobbing: %w", err)
+}
+
+func intentional() error {
+	//rldlint:allow rawerror -- corpus: demonstrates the escape directive
+	return errors.New("b: deliberate root")
+}

@@ -1,0 +1,35 @@
+// Package a exercises //rldlint:allow scoping: the directive covers its
+// own line (trailing form) or exactly the next statement (standalone form)
+// — never anything past it.
+package a
+
+func flagme() {}
+
+func nextStatementOnly() {
+	//rldlint:allow fake -- covers the next statement only
+	flagme()
+	flagme() // must still be reported
+}
+
+func trailingLineOnly() {
+	flagme() //rldlint:allow fake -- covers this line only
+	flagme() // must still be reported
+}
+
+func multiLineStatement() {
+	//rldlint:allow fake -- covers the whole next statement, however long
+	if true {
+		flagme()
+	}
+	flagme() // must still be reported
+}
+
+func wrongAnalyzer() {
+	//rldlint:allow other -- names a different analyzer
+	flagme() // must still be reported
+}
+
+func missingReason() {
+	//rldlint:allow fake
+	flagme() // must still be reported; the directive itself is malformed
+}

@@ -1,0 +1,7 @@
+// Package a deliberately fails to type-check: the loader must surface a
+// load error, not panic and not silently pass.
+package a
+
+func mismatch() int {
+	return "not an int"
+}

@@ -1,0 +1,24 @@
+// Package a is the unboundedgo known-bad corpus, loaded as
+// internal/engine: goroutines that can never be told to stop.
+package a
+
+func fire(work func()) {
+	go work() // want "not resolvable"
+}
+
+func pump(ch chan int) {
+	go func() { // want "never selects"
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+func spin() {
+	go hot() // want "never selects"
+}
+
+func hot() {
+	for {
+	}
+}

@@ -1,0 +1,68 @@
+// Package b is the unboundedgo known-good corpus, loaded as
+// internal/engine: every goroutine selects on a done/quit channel,
+// directly or one in-package call deep, or carries an explicit allow.
+package b
+
+type pool struct {
+	quit chan struct{}
+	work chan func()
+}
+
+func (p *pool) start() {
+	go p.worker()
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case fn := <-p.work:
+				fn()
+			}
+		}
+	}()
+}
+
+// worker drains the work channel; closing it stops the goroutine.
+func (p *pool) worker() {
+	for fn := range p.work {
+		fn()
+	}
+}
+
+// drain parks in pop, which receives — boundedness one call deep.
+func (p *pool) drain() {
+	for {
+		fn := p.pop()
+		if fn == nil {
+			return
+		}
+		fn()
+	}
+}
+
+func (p *pool) launchDrain() {
+	go p.drain()
+}
+
+func (p *pool) pop() func() {
+	select {
+	case fn := <-p.work:
+		return fn
+	case <-p.quit:
+		return nil
+	}
+}
+
+func (p *pool) closure() {
+	finish := func() {
+		<-p.quit
+	}
+	go finish()
+}
+
+func (p *pool) reap(done chan struct{}) {
+	//rldlint:allow unboundedgo -- corpus: bounded by a child process exit
+	go func() {
+		close(done)
+	}()
+}

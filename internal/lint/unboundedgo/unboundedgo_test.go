@@ -1,0 +1,16 @@
+package unboundedgo_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/linttest"
+	"rld/internal/lint/unboundedgo"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, unboundedgo.Analyzer, "testdata/bad", "internal/engine")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, unboundedgo.Analyzer, "testdata/good", "internal/engine")
+}

@@ -1,0 +1,21 @@
+// Package a is the wallclock known-bad corpus, loaded as internal/engine.
+package a
+
+import "time"
+
+func tick() time.Time {
+	return time.Now() // want "wall-clock time.Now"
+}
+
+func wait() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+	<-time.After(time.Second)    // want "wall-clock time.After"
+	t := time.NewTimer(0)        // want "wall-clock time.NewTimer"
+	t.Stop()
+	k := time.NewTicker(time.Second) // want "wall-clock time.NewTicker"
+	k.Stop()
+}
+
+func elapsed(since time.Time) float64 {
+	return time.Since(since).Seconds() // want "wall-clock time.Since"
+}

@@ -1,0 +1,19 @@
+// Package b is the wallclock known-good corpus, loaded as internal/engine:
+// types, conversions, and virtual-time arithmetic are fine — only calls
+// that read or wait on the wall clock are pinned.
+package b
+
+import "time"
+
+func span(d time.Duration) float64 { return d.Seconds() }
+
+func convert(ns int64) time.Duration { return time.Duration(ns) }
+
+func virtual(vnow float64, tick float64) float64 { return vnow + tick }
+
+func stamped(t time.Time) time.Time { return t.Add(time.Second) }
+
+func intentional() time.Time {
+	//rldlint:allow wallclock -- corpus: demonstrates the escape directive
+	return time.Now()
+}

@@ -1,0 +1,20 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/linttest"
+	"rld/internal/lint/wallclock"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/bad", "internal/engine")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/good", "internal/engine")
+}
+
+func TestNetrtAllowlist(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/netrt", "internal/netrt")
+}
