@@ -247,8 +247,14 @@ type Engine struct {
 
 	// timeSource, when set, supplies monitor-offer timestamps (sessions
 	// install their virtual clock so the stats timeline matches the
-	// simulator's); nil falls back to wall-clock seconds.
+	// simulator's); nil falls back to the app-time high-water mark.
 	timeSource atomic.Pointer[func() float64]
+
+	// lastAppTs is the float64 bit pattern of the highest batch timestamp
+	// ingested so far: the bare-engine fallback clock for monitor offers.
+	// App time keeps the stats timeline on the data's own axis instead of
+	// tying it to host speed.
+	lastAppTs atomic.Uint64
 
 	// waitCh/waitMu/waiters implement the event-driven pending-count
 	// notifier: every decrement of pending broadcasts (close-and-replace
@@ -622,6 +628,7 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 	if !ok {
 		return fmt.Errorf("%w: chooser returned %v", ErrInvalidPlan, plan)
 	}
+	e.advanceAppTime(float64(b.MaxTs()))
 	e.offerStats(false)
 
 	k := ip.key
@@ -683,13 +690,32 @@ func (e *Engine) offerStats(force bool) {
 	e.mu.Unlock()
 	// Stamp offers with the installed time source (a session's virtual
 	// clock) so the stats timeline matches the simulator's instead of
-	// diverging with host speed; wall clock is the bare-engine fallback.
-	now := float64(time.Now().UnixNano()) / 1e9
+	// diverging with host speed; the app-time high-water mark is the
+	// bare-engine fallback. Offer uses the stamp only to pace resampling,
+	// so any monotone non-decreasing clock is valid.
+	now := math.Float64frombits(e.lastAppTs.Load())
 	if fn := e.timeSource.Load(); fn != nil {
 		now = (*fn)()
 	}
 	e.monitor.Offer(now, sels, rates)
 	e.refreshSnap()
+}
+
+// advanceAppTime CAS-maxes the app-time high-water mark to ts. Non-positive
+// timestamps are ignored (MaxTs of an empty batch is 0; a negative float's
+// bit pattern would not order as uint64), so the bit patterns compared below
+// order the same as the floats themselves.
+func (e *Engine) advanceAppTime(ts float64) {
+	if ts <= 0 {
+		return
+	}
+	bits := math.Float64bits(ts)
+	for {
+		cur := e.lastAppTs.Load()
+		if bits <= cur || e.lastAppTs.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
 }
 
 // SetTimeSource installs (or, with nil, removes) the clock used to stamp

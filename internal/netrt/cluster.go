@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"sync"
@@ -161,6 +162,11 @@ type Cluster struct {
 	resultObs  atomic.Pointer[func(tuples []*stream.Joined, ingress time.Time)]
 	snapCache  atomic.Pointer[stats.Snapshot]
 	timeSource atomic.Pointer[func() float64]
+
+	// lastAppTs is the float64 bit pattern of the highest batch timestamp
+	// ingested so far: the fallback clock for monitor offers when no
+	// session time source is installed (see Engine.lastAppTs).
+	lastAppTs atomic.Uint64
 
 	// waitCh/waitMu/waiters: event-driven pending notifier (see
 	// Engine.AwaitPending; identical protocol).
@@ -815,12 +821,30 @@ func (c *Cluster) offerStats(force bool) {
 		rates[k] = v
 	}
 	c.mu.Unlock()
-	now := float64(time.Now().UnixNano()) / 1e9
+	// App-time fallback, as in Engine.offerStats: Offer uses the stamp
+	// only to pace resampling, so the batch-timestamp high-water mark is
+	// a valid (and host-speed-independent) clock.
+	now := math.Float64frombits(c.lastAppTs.Load())
 	if fn := c.timeSource.Load(); fn != nil {
 		now = (*fn)()
 	}
 	c.monitor.Offer(now, sels, rates)
 	c.refreshSnap()
+}
+
+// advanceAppTime CAS-maxes the app-time high-water mark to ts, ignoring
+// non-positive stamps (see Engine.advanceAppTime).
+func (c *Cluster) advanceAppTime(ts float64) {
+	if ts <= 0 {
+		return
+	}
+	bits := math.Float64bits(ts)
+	for {
+		cur := c.lastAppTs.Load()
+		if bits <= cur || c.lastAppTs.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
 }
 
 func (c *Cluster) internPlan(plan query.Plan) (internedPlan, bool) {
@@ -873,6 +897,7 @@ func (c *Cluster) Ingest(b *stream.Batch) error {
 	if !ok {
 		return fmt.Errorf("%w: chooser returned %v", engine.ErrInvalidPlan, plan)
 	}
+	c.advanceAppTime(float64(b.MaxTs()))
 	c.offerStats(false)
 
 	n := b.Len()
