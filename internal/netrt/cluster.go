@@ -286,10 +286,10 @@ func NewCluster(q *query.Query, assign physical.Assignment, nNodes int, cfg Clus
 			have++
 		case node := <-c.earlyDead:
 			c.teardown()
-			return nil, fmt.Errorf("netrt: worker %d exited during startup", node)
+			return nil, fmt.Errorf("%w: worker %d exited during startup", ErrWorkerDown, node)
 		case <-deadline:
 			c.teardown()
-			return nil, fmt.Errorf("netrt: timed out waiting for %d of %d worker handshakes", nNodes-have, nNodes)
+			return nil, fmt.Errorf("%w: %d of %d worker handshakes outstanding", ErrStartupTimeout, nNodes-have, nNodes)
 		}
 	}
 	return c, nil
@@ -1272,7 +1272,7 @@ func (c *Cluster) awaitWorker(node int) (*wireConn, error) {
 			}
 			ac.wc.Close()
 		case <-deadline:
-			return nil, fmt.Errorf("netrt: timed out waiting for worker %d handshake", node)
+			return nil, fmt.Errorf("%w: worker %d handshake outstanding", ErrStartupTimeout, node)
 		}
 	}
 }

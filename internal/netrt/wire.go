@@ -60,6 +60,12 @@ var (
 	ErrBadFrame = errors.New("netrt: malformed frame")
 	// ErrWorkerDown reports an RPC attempted against a crashed worker.
 	ErrWorkerDown = errors.New("netrt: worker down")
+	// ErrRemote reports a worker-side error frame with no more specific
+	// code — the remote detail rides along as wrapped text.
+	ErrRemote = errors.New("netrt: remote error")
+	// ErrStartupTimeout reports workers that failed to complete their
+	// handshake within ClusterConfig.StartupTimeout.
+	ErrStartupTimeout = errors.New("netrt: startup timeout")
 )
 
 // frameType tags each frame's payload.
@@ -114,7 +120,7 @@ func codeToError(code byte, msg string) error {
 	case codeBadFrame:
 		return fmt.Errorf("%w: %s", ErrBadFrame, msg)
 	}
-	return fmt.Errorf("netrt: remote error: %s", msg)
+	return fmt.Errorf("%w: %s", ErrRemote, msg)
 }
 
 // wireConn wraps one TCP connection with buffered framed I/O and reusable

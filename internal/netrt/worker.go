@@ -86,7 +86,7 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 		t, payload, err := wc.readFrame()
 		if err != nil {
 			if err == io.EOF {
-				return fmt.Errorf("netrt: leader closed connection without quit")
+				return fmt.Errorf("%w: leader closed connection without quit", ErrTruncatedFrame)
 			}
 			return err
 		}
