@@ -563,7 +563,7 @@ func (e *Engine) process(msg *message) {
 
 func (e *Engine) sink(msg *message) {
 	e.produced.Add(int64(len(msg.partials)))
-	e.latencyNano.Add(int64(time.Since(msg.ingress)))
+	e.latencyNano.Add(int64(time.Since(msg.ingress))) //rldlint:allow wallclock -- batch latency is a host-side wall metric, not simulated time
 	if obs := e.resultObs.Load(); obs != nil {
 		if len(msg.partials) > 0 {
 			// Ownership of the result tuples transfers to the observer's
@@ -667,7 +667,7 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 		// The interned canonical plan is shared across messages; the
 		// engine never mutates msg.plan.
 		plan:    ip.plan,
-		ingress: time.Now(),
+		ingress: time.Now(), //rldlint:allow wallclock -- ingress stamp feeds the wall-latency metric above
 	}
 	e.send(msg)
 	return nil

@@ -210,7 +210,7 @@ func OpenSessionOn(b Backend, q *query.Query, substrate string, pol runtime.Poli
 		tick:       opts.TickEvery,
 		mode:       chaos.Checkpoint,
 		maxPending: int64(opts.MaxPending),
-		start:      time.Now(),
+		start:      time.Now(), //rldlint:allow wallclock -- Result.WallSeconds reports host wall time by contract
 		pol:        pol,
 		downSince:  make(map[int]float64),
 		nextCkpt:   math.Inf(1),
@@ -671,7 +671,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 			Migrations:        s.migrations,
 			MigrationDowntime: s.downtime,
 			OverheadWork:      overhead,
-			WallSeconds:       time.Since(s.start).Seconds(),
+			WallSeconds:       time.Since(s.start).Seconds(), //rldlint:allow wallclock -- host wall time by contract
 			Crashes:           res.Crashes,
 			DownSeconds:       s.downSeconds,
 			TuplesLost:        float64(res.TuplesLost),
@@ -691,6 +691,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 	// where the deadline can interrupt. Event-driven — the last sinking
 	// message wakes this immediately.
 	if err := s.e.AwaitPending(ctx, 1, nil); err != nil {
+		//rldlint:allow unboundedgo -- detached Stop-drain after ctx deadline; bounded by Stop's own drain timeout
 		go finish()
 		return nil, err
 	}

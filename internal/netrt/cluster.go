@@ -228,7 +228,7 @@ func NewCluster(q *query.Query, assign physical.Assignment, nNodes int, cfg Clus
 		ecfg:       core.Config(),
 		core:       core,
 		monitor:    stats.NewMonitor(len(q.Ops), 0.5, 0),
-		epoch:      uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid()&0xff),
+		epoch:      uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid()&0xff), //rldlint:allow wallclock -- epoch fencing needs a host-unique monotone seed
 		connCh:     make(chan acceptedConn, nNodes),
 		earlyDead:  make(chan int, nNodes),
 		nodeQueued: make([]atomic.Int64, nNodes),
@@ -269,7 +269,7 @@ func NewCluster(q *query.Query, assign physical.Assignment, nNodes int, cfg Clus
 	}
 	// Collect every worker's handshake; any premature exit fails startup
 	// immediately instead of waiting out the timeout.
-	deadline := time.After(cfg.StartupTimeout)
+	deadline := time.After(cfg.StartupTimeout) //rldlint:allow wallclock -- startup handshake deadline is real elapsed time
 	have := 0
 	for have < nNodes {
 		select {
@@ -605,7 +605,7 @@ func (c *Cluster) dispatcher(wp *workerProc, quit <-chan struct{}) {
 // zero under a live message.
 func (c *Cluster) runHop(wp *workerProc, m *netMsg) {
 	op := m.plan[m.stage]
-	start := time.Now()
+	start := time.Now() //rldlint:allow wallclock -- slowdown emulation stretches real service time
 	out, selIn, selOut, gen, err := c.callStage(wp, op, m.partials)
 	if err != nil {
 		if !isDownErr(err) {
@@ -639,7 +639,7 @@ func (c *Cluster) runHop(wp *workerProc, m *netMsg) {
 	slow := wp.slow
 	wp.mu.Unlock()
 	if slow > 0 && slow < 1 {
-		time.Sleep(time.Duration(float64(time.Since(start)) * (1 - slow) / slow))
+		time.Sleep(time.Duration(float64(time.Since(start)) * (1 - slow) / slow)) //rldlint:allow wallclock -- chaos slowdown emulation stretches real service time
 	}
 
 	if len(out) == 0 || m.stage == len(m.plan)-1 {
@@ -655,7 +655,7 @@ func (c *Cluster) runHop(wp *workerProc, m *netMsg) {
 
 func (c *Cluster) sink(m *netMsg) {
 	c.produced.Add(int64(len(m.partials)))
-	c.latencyNano.Add(int64(time.Since(m.ingress)))
+	c.latencyNano.Add(int64(time.Since(m.ingress))) //rldlint:allow wallclock -- batch latency is a host-side wall metric, not simulated time
 	if obs := c.resultObs.Load(); obs != nil && len(m.partials) > 0 {
 		// Ownership of the result tuples transfers to the observer's
 		// consumer; they are never recycled.
@@ -952,7 +952,7 @@ func (c *Cluster) Ingest(b *stream.Batch) error {
 		j.SetPart(slot, b.Seq[i], b.Ts[i], b.Key[i], b.Arr[i], b.ValsAt(i))
 		partials = append(partials, j)
 	}
-	c.send(&netMsg{partials: partials, plan: ip.plan, ingress: time.Now()})
+	c.send(&netMsg{partials: partials, plan: ip.plan, ingress: time.Now()}) //rldlint:allow wallclock -- ingress stamp feeds the wall-latency metric in sink
 	return nil
 }
 
@@ -1399,7 +1399,7 @@ func (c *Cluster) Stop() engine.Results {
 		if done != nil {
 			select {
 			case <-done:
-			case <-time.After(5 * time.Second):
+			case <-time.After(5 * time.Second): //rldlint:allow wallclock -- shutdown drain bound on a real child process
 				if cmd != nil {
 					_ = cmd.Kill()
 				}

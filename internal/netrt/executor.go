@@ -54,6 +54,7 @@ func (x *Executor) SetFaults(fp *chaos.FaultPlan) { x.Faults = fp }
 // exhaustion under pol, shut down, and report the outcome.
 func (x *Executor) Execute(pol runtime.Policy) (*runtime.Report, error) {
 	if x.Query == nil || x.Feed == nil {
+		//rldlint:allow rawerror -- constructor argument validation, not a wire-path error
 		return nil, fmt.Errorf("netrt: executor needs a query and a feed")
 	}
 	s, err := OpenSession(x.Query, x.Nodes, pol, Options{

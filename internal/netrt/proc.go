@@ -55,18 +55,19 @@ func LiveWorkers() []int {
 // otherwise. goroutines() is passed in (runtime.NumGoroutine) so this
 // package does not import the runtime package's test-only helpers.
 func CheckLeaks(baseline, slack int, goroutines func() int) error {
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second) //rldlint:allow wallclock -- leak gate polls real process/goroutine state
 	for {
 		procs := LiveWorkers()
 		g := goroutines()
 		if len(procs) == 0 && g <= baseline+slack {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //rldlint:allow wallclock -- leak gate polls real process/goroutine state
+			//rldlint:allow rawerror -- test-gate diagnostic, never crosses the wire or API
 			return fmt.Errorf("netrt: leak gate: %d worker processes still live %v, %d goroutines (baseline %d, slack %d)",
 				len(procs), procs, g, baseline, slack)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond) //rldlint:allow wallclock -- leak gate polls real process/goroutine state
 	}
 }
 
@@ -128,6 +129,7 @@ func spawnWorker(workerCmd []string, leaderAddr string, node int, epoch uint64, 
 	pid := cmd.Process.Pid
 	registerProc(pid, fmt.Sprintf("node %d epoch %d", node, epoch))
 	done := make(chan struct{})
+	//rldlint:allow unboundedgo -- process reaper: bounded by the child's exit, which Stop forces
 	go func() {
 		_ = cmd.Wait()
 		unregisterProc(pid)

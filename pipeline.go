@@ -209,6 +209,7 @@ type Pipeline struct {
 // a server embeds.
 func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pipeline, error) {
 	if dep == nil {
+		//rldlint:allow rawerror -- Open option validation, caught at call time; no sentinel to match
 		return nil, fmt.Errorf("rld: Open needs a deployment")
 	}
 	if err := ctx.Err(); err != nil {
@@ -226,6 +227,7 @@ func Open(ctx context.Context, dep *Deployment, pol Policy, opts ...Option) (*Pi
 		pol = dep.NewPolicy(bs)
 	}
 	if cfg.sim != nil && cfg.distributed {
+		//rldlint:allow rawerror -- Open option validation, caught at call time; no sentinel to match
 		return nil, fmt.Errorf("rld: WithSimulation and WithDistributed are mutually exclusive")
 	}
 	if cfg.sim != nil {
