@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"rld"
 )
@@ -40,6 +41,11 @@ func main() {
 	workerBin := flag.String("worker-bin", "", "worker binary for -distributed (default: re-exec this binary)")
 	minComplete := flag.Float64("mincomplete", 0, "with -distributed and -faults: exit nonzero unless the faulted RLD run's completeness vs its fault-free run is at least this (0 = report only)")
 	flag.Parse()
+	if *minComplete < 0 || *minComplete > 1 {
+		fmt.Fprintf(flag.CommandLine.Output(), "rldrun: -mincomplete=%v out of range: completeness is a ratio in [0,1]\n", *minComplete)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	q := rld.NewNWayJoin("Q", *ops, 10)
 	dims := []rld.Dim{
