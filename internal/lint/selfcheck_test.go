@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rld/internal/lint"
+	"rld/internal/lint/analyzers"
+)
+
+// TestRepoIsClean runs every registered analyzer over the whole module and
+// requires zero diagnostics: the tree must stay rldlint-clean so the CI
+// gate (go run ./cmd/rldlint ./...) never bites on an unrelated PR.
+func TestRepoIsClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("LoadAll found only %d packages — walker is skipping too much", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, analyzers.All()) {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+}
