@@ -23,6 +23,20 @@
 // legitimately vary across machines), and entries without alloc data
 // (benchmarks missing b.ReportAllocs, or baselines in the legacy flat
 // ns-only format) skip the alloc gate.
+//
+// A third mode folds newly added benchmarks into an existing baseline
+// without hand-editing JSON:
+//
+//	benchdiff -merge BENCH_PR.json -into BENCH_BASELINE.json \
+//	    -normalize BenchmarkCalibration -out BENCH_BASELINE.json
+//
+// copies every benchmark present only in the merge file into the
+// baseline. With -normalize, each copied ns/op is rescaled by the ratio
+// of the two files' reference values, converting the local measurement
+// into the baseline machine's units so the regression gate stays
+// meaningful; allocs/op copy unchanged. Benchmarks already in the
+// baseline are never overwritten — refreshing an existing entry is a
+// deliberate act that should stay a hand edit.
 package main
 
 import (
@@ -30,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -61,11 +76,18 @@ func main() {
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25, "fail when allocs/op grows by more than this fraction (plus -alloc-slack)")
 	allocSlack := flag.Float64("alloc-slack", 2, "absolute allocs/op growth always tolerated (noise floor for tiny baselines)")
 	normalize := flag.String("normalize", "", "divide each file's ns/op by this benchmark's value before comparing")
+	merge := flag.String("merge", "", "results JSON whose baseline-absent benchmarks are added to -into")
+	into := flag.String("into", "", "baseline JSON to merge new benchmarks into (merge mode)")
 	flag.Parse()
 
 	switch {
 	case *parse != "":
 		if err := runParse(*parse, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case *merge != "" && *into != "":
+		if err := runMerge(*merge, *into, *normalize, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
@@ -79,9 +101,65 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "benchdiff: use -parse FILE [-out FILE] or -old FILE -new FILE")
+		fmt.Fprintln(os.Stderr, "benchdiff: use -parse FILE [-out FILE], -old FILE -new FILE, or -merge FILE -into FILE [-out FILE]")
 		os.Exit(2)
 	}
+}
+
+// runMerge adds benchmarks present only in mergePath to the baseline at
+// intoPath. With normalize set, copied ns/op values are multiplied by
+// baseline_ref/merge_ref so they land in the baseline machine's units;
+// without it they copy raw (only sound when both files came from the
+// same machine). Existing baseline entries are never modified.
+func runMerge(mergePath, intoPath, normalize, out string) error {
+	src, err := load(mergePath)
+	if err != nil {
+		return err
+	}
+	base, err := load(intoPath)
+	if err != nil {
+		return err
+	}
+	scale := 1.0
+	if normalize != "" {
+		br, sr := base[normalize], src[normalize]
+		if br == nil || sr == nil || br.NsPerOp <= 0 || sr.NsPerOp <= 0 {
+			// Same contract as the comparison gate: rescaling is the whole
+			// point of -normalize, so a missing reference is an error.
+			return fmt.Errorf("-normalize %q missing from %s or %s", normalize, intoPath, mergePath)
+		}
+		scale = br.NsPerOp / sr.NsPerOp
+	}
+	names := make([]string, 0, len(src))
+	for k := range src {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	added := 0
+	for _, name := range names {
+		if _, exists := base[name]; exists {
+			continue
+		}
+		v := src[name]
+		// Round to whole nanoseconds: sub-ns precision is noise, and the
+		// merged file is committed, so keep it diff-friendly.
+		base[name] = &result{NsPerOp: math.Round(v.NsPerOp * scale), AllocsPerOp: v.AllocsPerOp}
+		fmt.Fprintf(os.Stderr, "benchdiff: adding %s (ns/op %.0f, scale %.3f)\n", name, v.NsPerOp*scale, scale)
+		added++
+	}
+	if added == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing to merge; baseline unchanged")
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
 }
 
 // runParse converts bench text to the JSON map, keeping the minimum ns/op

@@ -12,6 +12,12 @@
 // simulator models a down node as zero capacity and the live engine
 // actually kills the node's worker pool (see internal/sim and
 // internal/engine).
+//
+// Checkpoint mode is also the anchor for exactly-once durability:
+// sessions opened with a write-ahead log (rld.WithExactlyOnce) replay
+// the logged suffix over the restored snapshot, which only makes sense
+// when recovery restores state at all — LoseState discards it by
+// definition, so the WAL never replays under lose.
 package chaos
 
 import (

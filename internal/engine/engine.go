@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"rld/internal/runtime"
 	"rld/internal/stats"
 	"rld/internal/stream"
+	"rld/internal/wal"
 )
 
 // PlanChooser selects a logical plan for each batch given fresh statistics
@@ -75,6 +77,13 @@ type Config struct {
 	// window state, each with its own lock (0 = 16; rounded up to a
 	// power of two). More shards → less insert/probe contention.
 	Shards int
+	// WALDir, when non-empty, turns on exactly-once durability: every
+	// window mutation is logged to a write-ahead log under this directory
+	// (fsync'd before it applies) and deduplicated by tuple ID on
+	// insert, so Checkpoint-mode recovery replays the suffix past the
+	// last snapshot to Completeness == 1.0. Empty keeps the
+	// allocation-free fast path (rld.WithExactlyOnce sets it).
+	WALDir string
 }
 
 // DefaultConfig returns sensible example defaults.
@@ -270,6 +279,16 @@ type Engine struct {
 	snapMu sync.Mutex
 	snaps  []*stream.Batch
 
+	// wlog is the exactly-once write-ahead log (nil without
+	// Config.WALDir). walMu orders logged inserts against checkpoint
+	// barriers: Ingest holds the read side across its append+insert pair,
+	// Checkpoint the write side across snapshot+barrier+truncate, and
+	// Recover the write side across restore+replay — so every logged
+	// insert is either covered by the snapshot before the barrier or
+	// retained after it, never split.
+	wlog  *wal.Log
+	walMu sync.RWMutex
+
 	// sendMu fences Ingest against Stop: Ingest holds the read side for
 	// its whole body, and Stop takes the write side after setting the
 	// stopped flag, so no Ingest can be between its stopped-check and
@@ -345,11 +364,31 @@ func New(q *query.Query, assign physical.Assignment, nNodes int, chooser PlanCho
 		}
 	}
 	cfg = core.Config()
+	var wlog *wal.Log
+	if cfg.WALDir != "" {
+		// Each engine incarnation logs into its own subdirectory: the
+		// process survives in-process "crashes", so the same Log instance
+		// serves the whole run and never collides with another engine
+		// sharing the parent directory.
+		dir, derr := os.MkdirTemp(cfg.WALDir, "engine-")
+		if derr != nil {
+			if mkerr := os.MkdirAll(cfg.WALDir, 0o755); mkerr != nil {
+				return nil, fmt.Errorf("%w: %v", wal.ErrWALDir, mkerr)
+			}
+			if dir, derr = os.MkdirTemp(cfg.WALDir, "engine-"); derr != nil {
+				return nil, fmt.Errorf("%w: %v", wal.ErrWALDir, derr)
+			}
+		}
+		if wlog, err = wal.Open(dir); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
 		q:          q,
 		chooser:    chooser,
 		cfg:        cfg,
 		core:       core,
+		wlog:       wlog,
 		monitor:    stats.NewMonitor(len(q.Ops), 0.5, 0),
 		planUse:    make(map[string]int64),
 		rateCount:  make(map[string]float64),
@@ -628,6 +667,28 @@ func (e *Engine) Ingest(b *stream.Batch) error {
 	if !ok {
 		return fmt.Errorf("%w: chooser returned %v", ErrInvalidPlan, plan)
 	}
+	// Durable mode: log the window mutation before applying it, fsync'd
+	// (group commit coalesces concurrent producers into shared fsyncs).
+	// The read lock is held across append+insert so a checkpoint barrier
+	// can never land between a logged record and its window insert. A
+	// failed append leaves no engine state behind, so the batch can be
+	// retried. Batches whose stream feeds no join window mutate nothing
+	// durable — their loss story is the parked-replay path — and skip the
+	// log.
+	if e.wlog != nil {
+		if ops := e.core.JoinOpsFor(b.Stream); len(ops) > 0 {
+			e.walMu.RLock()
+			defer e.walMu.RUnlock()
+			err := e.wlog.Append(wal.Record{Ops: ops, Batch: b})
+			if err == nil {
+				err = e.wlog.Sync()
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+
 	e.advanceAppTime(float64(b.MaxTs()))
 	e.offerStats(false)
 
@@ -906,8 +967,13 @@ func (e *Engine) Recover(node int) error {
 	ns.mu.Unlock()
 	// Rebuild join-window state for the operators this node currently
 	// hosts (operators migrated away during the outage kept their state:
-	// the engine's state is shared memory, see Migrate).
+	// the engine's state is shared memory, see Migrate). In durable mode
+	// the write lock freezes the log across restore+replay.
+	if e.wlog != nil {
+		e.walMu.Lock()
+	}
 	assign := *e.assign.Load()
+	restored := make(map[int]bool)
 	for op, n := range assign {
 		if n != node || e.core.ops[op].op.Kind != query.Join {
 			continue
@@ -916,9 +982,28 @@ func (e *Engine) Recover(node int) error {
 			if e.restoreOp(op) {
 				e.restores.Add(1)
 			}
+			restored[op] = true
 		} else {
 			e.core.ClearOp(op)
 		}
+	}
+	// Replay the WAL suffix past the last checkpoint into the restored
+	// operators: the snapshot wound their windows back to the barrier, and
+	// the retained records carry everything since. Records the snapshot
+	// already covers re-insert as duplicates and are dropped by the
+	// per-operator dedup, so the overlap is harmless.
+	if e.wlog != nil {
+		if mode == chaos.Checkpoint && len(restored) > 0 {
+			_ = e.wlog.Replay(func(r wal.Record) error {
+				for _, op := range r.Ops {
+					if restored[op] {
+						_ = e.core.Insert(op, r.Batch)
+					}
+				}
+				return nil
+			})
+		}
+		e.walMu.Unlock()
 	}
 	// Fresh pool against a fresh quit channel, honoring any slowdown
 	// still in effect.
@@ -986,9 +1071,23 @@ func (e *Engine) activeWorkers(factor float64) int32 {
 // latest snapshot is what Checkpoint-mode recovery restores. The executor
 // calls it on a periodic virtual-time cadence (FaultPlan.SnapshotEvery).
 func (e *Engine) Checkpoint() {
+	// Durable mode: the write lock excludes in-flight Ingests, so the
+	// snapshot, the WAL barrier, and the truncation form one atomic cut —
+	// every logged insert is either inside the snapshot (and dropped by
+	// Truncate) or after the barrier (and replayed on recovery).
+	if e.wlog != nil {
+		e.walMu.Lock()
+		defer e.walMu.Unlock()
+	}
 	snaps := make([]*stream.Batch, e.core.NumOps())
 	for i := range snaps {
 		snaps[i] = e.core.SnapshotOp(i)
+	}
+	if e.wlog != nil {
+		if err := e.wlog.Barrier(); err == nil {
+			// Only drop segments the barrier proved durable.
+			_ = e.wlog.Truncate()
+		}
 	}
 	e.snapMu.Lock()
 	e.snaps = snaps
@@ -1086,6 +1185,9 @@ func (e *Engine) Stop() Results {
 	// Final forced sample so results reflect the fully processed run,
 	// not the last rate-limited offer.
 	e.offerStats(true)
+	if e.wlog != nil {
+		_ = e.wlog.Close()
+	}
 	close(e.stopDone)
 	return e.results()
 }

@@ -129,6 +129,70 @@ type opState struct {
 	// selections, pairs/matches for joins.
 	in  atomic.Int64
 	out atomic.Int64
+	// seen, allocated only in durable (WAL) mode, maps the TupleID of
+	// every tuple ever admitted to this operator's window (pruned once the
+	// tuple has aged past the window span) to its timestamp. WAL replay
+	// and source re-offers re-insert batches that may overlap state the
+	// snapshot or an earlier delivery already covers; filtering on seen
+	// makes insertion idempotent, which is what turns at-least-once
+	// delivery into exactly-once.
+	seenMu      sync.Mutex
+	seen        map[stream.TupleID]stream.Time
+	seenPruneAt int
+}
+
+// dedupFilter returns b with every already-seen tuple removed, recording
+// the rest as seen. It returns b itself when nothing is filtered (the
+// fast path is allocation-free), a fresh filtered copy when some rows are
+// duplicates, and nil when all of them are.
+func (s *opState) dedupFilter(b *stream.Batch) *stream.Batch {
+	n := b.Len()
+	w := b.Width()
+	s.seenMu.Lock()
+	defer s.seenMu.Unlock()
+	var out *stream.Batch
+	for i := 0; i < n; i++ {
+		id := stream.MakeTupleID(s.slot, b.Seq[i])
+		if _, dup := s.seen[id]; dup {
+			if out == nil {
+				// First duplicate: lazily copy the clean prefix.
+				out = stream.NewSizedBatch(b.Stream, w, n)
+				for j := 0; j < i; j++ {
+					copy(out.AppendRow(b.Seq[j], b.Ts[j], b.Key[j], b.Arr[j]), b.Vals[j*w:(j+1)*w])
+				}
+			}
+			continue
+		}
+		s.seen[id] = b.Ts[i]
+		if out != nil {
+			copy(out.AppendRow(b.Seq[i], b.Ts[i], b.Key[i], b.Arr[i]), b.Vals[i*w:(i+1)*w])
+		}
+	}
+	if len(s.seen) >= s.seenPruneAt {
+		s.pruneSeenLocked()
+	}
+	if out == nil {
+		return b
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	return out
+}
+
+// pruneSeenLocked drops seen entries whose tuples have aged past the
+// window span — they can no longer be in the window, and a replayed
+// duplicate that old would be expired on arrival anyway. The next prune
+// threshold doubles with the surviving population so the scan stays
+// amortized O(1) per insert.
+func (s *opState) pruneSeenLocked() {
+	cutoff := stream.Time(math.Float64frombits(s.maxTs.Load()) - s.span)
+	for id, ts := range s.seen {
+		if ts < cutoff {
+			delete(s.seen, id)
+		}
+	}
+	s.seenPruneAt = max(1024, 2*len(s.seen))
 }
 
 // advanceTs lifts the operator's high-water timestamp to at least ts.
@@ -150,6 +214,11 @@ func (s *opState) advanceTs(ts float64) {
 // retains exactly the set per-tuple insertion would (expiration is a prefix
 // scan, so intermediate cutoffs only evict what the final one evicts).
 func (s *opState) insertBatch(b *stream.Batch, sc *shardScratch) {
+	if s.seen != nil {
+		if b = s.dedupFilter(b); b == nil {
+			return
+		}
+	}
 	n := b.Len()
 	if n == 0 {
 		return
@@ -226,6 +295,10 @@ type NodeCore struct {
 	// also owns the pool join results are recycled through.
 	schema *stream.JoinSchema
 	ops    []*opState
+	// joinOps maps a stream name to the indices of the join operators
+	// over it — precomputed so the durable ingest path can stamp WAL
+	// records without a per-batch scan or allocation.
+	joinOps map[string][]int
 }
 
 // NewNodeCore builds the operator state for q under cfg (normalized with
@@ -238,16 +311,28 @@ func NewNodeCore(q *query.Query, cfg Config) (*NodeCore, error) {
 		return nil, fmt.Errorf("%w: %d streams exceed the 64-stream join schema", ErrBadPlacement, len(q.Streams))
 	}
 	cfg = normalizeConfig(cfg)
-	c := &NodeCore{q: q, cfg: cfg, schema: stream.NewJoinSchema(q.Streams)}
+	c := &NodeCore{q: q, cfg: cfg, schema: stream.NewJoinSchema(q.Streams), joinOps: make(map[string][]int)}
 	for i := range q.Ops {
 		st := &opState{op: q.Ops[i], span: q.WindowSeconds, slot: c.schema.Slot(q.Ops[i].Stream)}
 		for s := 0; s < cfg.Shards; s++ {
 			st.shards = append(st.shards, &opShard{window: stream.NewWindow(q.WindowSeconds)})
 		}
+		if cfg.WALDir != "" && st.op.Kind == query.Join {
+			st.seen = make(map[stream.TupleID]stream.Time)
+			st.seenPruneAt = 1024
+		}
 		c.ops = append(c.ops, st)
+		if q.Ops[i].Kind == query.Join {
+			c.joinOps[q.Ops[i].Stream] = append(c.joinOps[q.Ops[i].Stream], i)
+		}
 	}
 	return c, nil
 }
+
+// JoinOpsFor returns the indices of the join operators over the named
+// stream (nil when none) — the operator set a WAL record for one of that
+// stream's batches must target on replay.
+func (c *NodeCore) JoinOpsFor(name string) []int { return c.joinOps[name] }
 
 // Schema returns the query's join schema (decoders acquire result tuples
 // through it).
@@ -454,7 +539,10 @@ func (c *NodeCore) SnapshotOp(op int) *stream.Batch {
 	return b
 }
 
-// ClearOp discards operator op's window state (LoseState recovery).
+// ClearOp discards operator op's window state (LoseState recovery). In
+// durable mode the seen set resets with the window: RestoreOp's snapshot
+// re-insert repopulates it with exactly the surviving tuples, so replayed
+// records dedup against the restored state rather than the lost one.
 func (c *NodeCore) ClearOp(op int) {
 	st := c.ops[op]
 	total := 0
@@ -465,6 +553,12 @@ func (c *NodeCore) ClearOp(op int) {
 		sh.mu.Unlock()
 	}
 	st.winLen.Add(int64(-total))
+	if st.seen != nil {
+		st.seenMu.Lock()
+		st.seen = make(map[stream.TupleID]stream.Time)
+		st.seenPruneAt = 1024
+		st.seenMu.Unlock()
+	}
 }
 
 // RestoreOp replaces operator op's window state with the given snapshot

@@ -1,0 +1,25 @@
+// Package a is the wallclock WAL corpus, loaded as internal/wal. The
+// durability log is a strict package: replay and truncation must be
+// deterministic, so bare wall-clock reads are findings, while fsync
+// latency measurement — real disk time, outside the virtual clock — is
+// legal only under an explicit annotation, mirroring wal.Log's Stats
+// instrumentation.
+package a
+
+import "time"
+
+func rotateStamp() time.Time {
+	return time.Now() // want "wall-clock time.Now"
+}
+
+func replayThrottle() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func syncTimed() int64 {
+	start := time.Now() //rldlint:allow wallclock -- fsync latency is real disk time, outside the virtual clock
+	fsync()
+	return time.Since(start).Nanoseconds() //rldlint:allow wallclock -- fsync latency is real disk time, outside the virtual clock
+}
+
+func fsync() {}

@@ -27,11 +27,16 @@ var forbidden = map[string]bool{
 	"Until":     true,
 }
 
-// strict packages forbid wall time outright.
+// strict packages forbid wall time outright. internal/wal is strict even
+// though fsync latency is inherently wall time: its two Stats timing
+// reads carry explicit //rldlint:allow annotations, and everything else
+// in a durability log (replay, truncation, rotation) must be
+// deterministic, so new wall-clock reads there are almost certainly bugs.
 var strict = map[string]bool{
 	"internal/engine": true,
 	"internal/sim":    true,
 	"internal/stream": true,
+	"internal/wal":    true,
 }
 
 // netrtAllowed names the netrt functions whose wall-clock use is the

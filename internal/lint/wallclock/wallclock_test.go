@@ -18,3 +18,7 @@ func TestGoodCorpus(t *testing.T) {
 func TestNetrtAllowlist(t *testing.T) {
 	linttest.Run(t, wallclock.Analyzer, "testdata/netrt", "internal/netrt")
 }
+
+func TestWALCorpus(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/wal", "internal/wal")
+}

@@ -94,6 +94,13 @@ type workerProc struct {
 	down     bool
 	mode     chaos.RecoveryMode
 	parked   []*netMsg
+	// unacked (durable mode only) retains the encoded frameInsert payload
+	// of every window insert the worker has not acknowledged — inserts
+	// attempted while the worker was down, or whose RPC died mid-call.
+	// Recover re-offers them on the fresh process before it goes live; the
+	// worker's insert-time dedup absorbs any that actually landed before
+	// the crash.
+	unacked [][]byte
 	// jobs[head:] is the node's FIFO work queue — unbounded, like the
 	// engine's inbox+overflow pair collapsed into one ring, so a
 	// dispatcher forwarding to a saturated peer can never deadlock.
@@ -252,7 +259,6 @@ func NewCluster(q *query.Query, assign physical.Assignment, nNodes int, cfg Clus
 	if err != nil {
 		return nil, fmt.Errorf("netrt: listen: %w", err)
 	}
-	go c.acceptLoop()
 	for i := 0; i < nNodes; i++ {
 		c.workers = append(c.workers, &workerProc{
 			node:   i,
@@ -261,6 +267,10 @@ func NewCluster(q *query.Query, assign physical.Assignment, nNodes int, cfg Clus
 			quit:   make(chan struct{}),
 		})
 	}
+	// The accept loop starts only after the workers slice is fully built:
+	// handshakes read it unsynchronized (it is immutable once spawning
+	// begins).
+	go c.acceptLoop()
 	for i := 0; i < nNodes; i++ {
 		if err := c.spawnInto(c.workers[i]); err != nil {
 			c.teardown()
@@ -447,6 +457,11 @@ func (c *Cluster) heartbeatLoop() {
 }
 
 func isDownErr(err error) bool { return err == ErrWorkerDown }
+
+// durable reports whether the cluster runs with exactly-once durability:
+// workers keep fsync'd local WALs and the leader retains unacknowledged
+// inserts for re-offer.
+func (c *Cluster) durable() bool { return c.ecfg.WALDir != "" }
 
 // onWorkerExit runs when a worker process is reaped. An exit the leader
 // did not cause (no Crash, no Quit) is a real failure: the node is marked
@@ -678,11 +693,11 @@ func (c *Cluster) rpc(wc *wireConn, t frameType, payload []byte) (frameType, []b
 		return 0, nil, err
 	}
 	if rt == frameError {
-		d := dec{b: rp}
-		code := d.u8()
-		msg := d.str()
-		if d.err != nil {
-			return 0, nil, d.err
+		d := dec{B: rp}
+		code := d.U8()
+		msg := d.Str()
+		if d.Err != nil {
+			return 0, nil, d.Err
 		}
 		return 0, nil, codeToError(code, msg)
 	}
@@ -750,10 +765,10 @@ func (c *Cluster) callStageChunk(wp *workerProc, op int, ps, dst []*stream.Joine
 		return dst, 0, 0, gen, ErrWorkerDown
 	}
 	var e enc
-	e.u16(uint16(op))
+	e.U16(uint16(op))
 	encodePartials(&e, sch, ps)
 	wc.c.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
-	if err := wc.writeFrame(frameStage, e.b); err != nil {
+	if err := wc.writeFrame(frameStage, e.B); err != nil {
 		return dst, 0, 0, gen, err
 	}
 	for {
@@ -764,7 +779,7 @@ func (c *Cluster) callStageChunk(wp *workerProc, op int, ps, dst []*stream.Joine
 		if rerr != nil {
 			return dst, 0, 0, gen, rerr
 		}
-		d := dec{b: payload}
+		d := dec{B: payload}
 		switch t {
 		case frameStagePart:
 			dst, rerr = decodePartials(&d, sch, dst)
@@ -772,18 +787,18 @@ func (c *Cluster) callStageChunk(wp *workerProc, op int, ps, dst []*stream.Joine
 				return dst, 0, 0, gen, rerr
 			}
 		case frameStageResult:
-			selIn = d.i64()
-			selOut = d.i64()
+			selIn = d.I64()
+			selOut = d.I64()
 			dst, rerr = decodePartials(&d, sch, dst)
 			if rerr != nil {
 				return dst, 0, 0, gen, rerr
 			}
 			return dst, selIn, selOut, gen, nil
 		case frameError:
-			code := d.u8()
-			msg := d.str()
-			if d.err != nil {
-				return dst, 0, 0, gen, d.err
+			code := d.U8()
+			msg := d.Str()
+			if d.Err != nil {
+				return dst, 0, 0, gen, d.Err
 			}
 			return dst, 0, 0, gen, codeToError(code, msg)
 		default:
@@ -929,17 +944,41 @@ func (c *Cluster) Ingest(b *stream.Batch) error {
 		}
 		wp := c.workers[node]
 		var e enc
-		e.u16(uint16(len(ops)))
+		e.U16(uint16(len(ops)))
 		for _, op := range ops {
-			e.u16(uint16(op))
+			e.U16(uint16(op))
 		}
 		encodeBatch(&e, b)
-		t, _, gen, err := c.call(wp, frameInsert, e.b)
+		// Durable mode: never drop an insert on the floor. A down worker's
+		// inserts queue as unacked payloads for Recover to re-offer, and a
+		// call that dies mid-RPC retains its payload the same way (the
+		// worker may or may not have logged it; its dedup disambiguates).
+		if c.durable() {
+			wp.mu.Lock()
+			if wp.down {
+				if wp.mode == chaos.Checkpoint {
+					wp.unacked = append(wp.unacked, e.B)
+				}
+				wp.mu.Unlock()
+				continue
+			}
+			wp.mu.Unlock()
+		}
+		t, _, gen, err := c.call(wp, frameInsert, e.B)
 		if err == nil && t != frameOK {
 			err = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
 		}
-		if err != nil && !isDownErr(err) {
-			c.markDown(wp, gen, chaos.Checkpoint)
+		if err != nil {
+			if !isDownErr(err) {
+				c.markDown(wp, gen, chaos.Checkpoint)
+			}
+			if c.durable() {
+				wp.mu.Lock()
+				if wp.mode == chaos.Checkpoint {
+					wp.unacked = append(wp.unacked, e.B)
+				}
+				wp.mu.Unlock()
+			}
 		}
 	}
 
@@ -1095,16 +1134,16 @@ func (c *Cluster) Migrate(op, node int) error {
 func (c *Cluster) snapshotOpFrom(node, op int) *stream.Batch {
 	wp := c.workers[node]
 	var e enc
-	e.u16(uint16(op))
-	t, payload, gen, err := c.call(wp, frameSnapshot, e.b)
+	e.U16(uint16(op))
+	t, payload, gen, err := c.call(wp, frameSnapshot, e.B)
 	if err != nil || t != frameSnapshotResult {
 		if err != nil && !isDownErr(err) {
 			c.markDown(wp, gen, chaos.Checkpoint)
 		}
 		return nil
 	}
-	d := dec{b: payload}
-	if d.u8() != 1 {
+	d := dec{B: payload}
+	if d.U8() != 1 {
 		return nil
 	}
 	b, derr := decodeBatch(&d)
@@ -1118,14 +1157,14 @@ func (c *Cluster) snapshotOpFrom(node, op int) *stream.Batch {
 func (c *Cluster) restoreOpOn(node, op int, snap *stream.Batch) {
 	wp := c.workers[node]
 	var e enc
-	e.u16(uint16(op))
+	e.U16(uint16(op))
 	if snap != nil {
-		e.u8(1)
+		e.U8(1)
 		encodeBatch(&e, snap)
 	} else {
-		e.u8(0)
+		e.U8(0)
 	}
-	t, _, gen, err := c.call(wp, frameRestore, e.b)
+	t, _, gen, err := c.call(wp, frameRestore, e.B)
 	if err == nil && t != frameOK {
 		err = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
 	}
@@ -1214,14 +1253,14 @@ func (c *Cluster) Recover(node int) error {
 					continue
 				}
 				var e enc
-				e.u16(uint16(op))
+				e.U16(uint16(op))
 				if snaps[op] != nil {
-					e.u8(1)
+					e.U8(1)
 					encodeBatch(&e, snaps[op])
 				} else {
-					e.u8(0)
+					e.U8(0)
 				}
-				t, _, rerr := c.rpc(wc, frameRestore, e.b)
+				t, _, rerr := c.rpc(wc, frameRestore, e.B)
 				if rerr == nil && t != frameOK {
 					rerr = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
 				}
@@ -1242,9 +1281,72 @@ func (c *Cluster) Recover(node int) error {
 			}
 		}
 	}
+	// Durable mode: before any traffic, replay the worker's local WAL —
+	// everything it fsync'd past the snapshot the restore just shipped —
+	// then re-offer the inserts the old incarnation never acknowledged.
+	// Both overlap the restored state; the worker's insert-time dedup
+	// makes the union exact. The drain loops until a lock-held check sees
+	// no unacked left, so an Ingest racing the recovery cannot strand a
+	// queued insert behind the flip.
+	if c.durable() && mode == chaos.Checkpoint {
+		if t, _, rerr := c.rpc(wc, frameWALReplay, nil); rerr != nil || t != frameOK {
+			if rerr == nil {
+				rerr = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+			}
+			wc.Close()
+			wp.mu.Lock()
+			cmd, done := wp.cmd, wp.procDone
+			wp.mu.Unlock()
+			if cmd != nil {
+				_ = cmd.Kill()
+			}
+			if done != nil {
+				<-done
+			}
+			return fmt.Errorf("netrt: wal replay on recovered node %d: %w", node, rerr)
+		}
+		for {
+			wp.mu.Lock()
+			unacked := wp.unacked
+			wp.unacked = nil
+			wp.mu.Unlock()
+			if len(unacked) == 0 {
+				break
+			}
+			for i, payload := range unacked {
+				t, _, rerr := c.rpc(wc, frameInsert, payload)
+				if rerr == nil && t != frameOK {
+					rerr = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+				}
+				if rerr != nil {
+					// Put the undelivered tail back for the next attempt.
+					wp.mu.Lock()
+					wp.unacked = append(unacked[i:], wp.unacked...)
+					wp.mu.Unlock()
+					wc.Close()
+					wp.mu.Lock()
+					cmd, done := wp.cmd, wp.procDone
+					wp.mu.Unlock()
+					if cmd != nil {
+						_ = cmd.Kill()
+					}
+					if done != nil {
+						<-done
+					}
+					return fmt.Errorf("netrt: re-offer inserts to recovered node %d: %w", node, rerr)
+				}
+			}
+		}
+	}
 	// Flip live and take the parked backlog atomically: later sends go
 	// straight to the queue, everything parked before the flip replays.
+	// An insert queued between the drain loop's final check and this lock
+	// (stragglers; durable Checkpoint mode only — LoseState recoveries
+	// drop retained inserts with the rest of the state) is delivered
+	// through the now-live path before the parked work replays.
 	wp.mu.Lock()
+	stragglers := wp.unacked
+	wp.unacked = nil
 	wp.wc = wc
 	wp.down = false
 	wp.quit = make(chan struct{})
@@ -1253,6 +1355,23 @@ func (c *Cluster) Recover(node int) error {
 	wp.parked = nil
 	wp.mu.Unlock()
 	c.downCount.Add(-1)
+	if mode != chaos.Checkpoint {
+		stragglers = nil
+	}
+	for _, payload := range stragglers {
+		t, _, gen, rerr := c.call(wp, frameInsert, payload)
+		if rerr == nil && t != frameOK {
+			rerr = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+		}
+		if rerr != nil {
+			if !isDownErr(rerr) {
+				c.markDown(wp, gen, chaos.Checkpoint)
+			}
+			wp.mu.Lock()
+			wp.unacked = append(wp.unacked, payload)
+			wp.mu.Unlock()
+		}
+	}
 	go c.dispatcher(wp, quit)
 	for _, m := range parked {
 		c.send(m)
@@ -1300,25 +1419,67 @@ func (c *Cluster) SetSlowdown(node int, factor float64) error {
 // window state into leader memory — what Checkpoint-mode recovery ships
 // back to a respawned worker. Operators on down workers keep their
 // previous snapshot (their state will be rebuilt from it anyway).
+//
+// In durable mode each live worker first cuts a WAL barrier, so every
+// insert is covered either by the snapshots pulled after it or by the
+// worker's retained log; only a worker whose barrier and every snapshot
+// pull succeeded is told to truncate (frameWALMark). A worker that fails
+// any step keeps its log back to the last successful mark — exactly the
+// suffix replay needs to bridge its stale snapshot.
 func (c *Cluster) Checkpoint() {
 	assign := *c.assign.Load()
+	durable := c.durable()
+	barrierOK := make([]bool, len(c.workers))
+	if durable {
+		for node, wp := range c.workers {
+			t, _, gen, err := c.call(wp, frameWALBarrier, nil)
+			if err == nil && t != frameOK {
+				err = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+			}
+			if err != nil {
+				if !isDownErr(err) {
+					c.markDown(wp, gen, chaos.Checkpoint)
+				}
+				continue
+			}
+			barrierOK[node] = true
+		}
+	}
 	c.snapMu.Lock()
 	prev := c.snaps
 	c.snapMu.Unlock()
 	snaps := make([]*stream.Batch, len(c.q.Ops))
+	pullFailed := make([]bool, len(c.workers))
 	for op := range c.q.Ops {
 		if c.q.Ops[op].Kind != query.Join {
 			continue
 		}
 		if b := c.snapshotOpFrom(assign[op], op); b != nil {
 			snaps[op] = b
-		} else if prev != nil {
-			snaps[op] = prev[op]
+		} else {
+			pullFailed[assign[op]] = true
+			if prev != nil {
+				snaps[op] = prev[op]
+			}
 		}
 	}
 	c.snapMu.Lock()
 	c.snaps = snaps
 	c.snapMu.Unlock()
+	if durable {
+		for node, wp := range c.workers {
+			if !barrierOK[node] || pullFailed[node] {
+				continue
+			}
+			t, _, gen, err := c.call(wp, frameWALMark, nil)
+			if err == nil && t != frameOK {
+				err = fmt.Errorf("%w: want ok, got frame %d", ErrBadFrame, t)
+			}
+			if err != nil && !isDownErr(err) {
+				c.markDown(wp, gen, chaos.Checkpoint)
+			}
+		}
+	}
 }
 
 // SetChooser implements engine.Backend (install before Start).

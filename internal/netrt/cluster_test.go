@@ -3,10 +3,13 @@ package netrt
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	"rld/internal/chaos"
 	"rld/internal/engine"
 	"rld/internal/physical"
 	"rld/internal/query"
@@ -247,8 +250,8 @@ func TestLeaderRejectsBadHandshakes(t *testing.T) {
 		if ft != frameError {
 			t.Fatalf("got frame %d, want error frame", ft)
 		}
-		d := dec{b: payload}
-		got := codeToError(d.u8(), d.str())
+		d := dec{B: payload}
+		got := codeToError(d.U8(), d.Str())
 		if !errors.Is(got, want) {
 			t.Fatalf("got %v, want %v", got, want)
 		}
@@ -258,11 +261,11 @@ func TestLeaderRejectsBadHandshakes(t *testing.T) {
 	expectRejection(encodeHello(0, c.epoch+1), frameHello, ErrStaleEpoch)
 	// Version-skewed worker.
 	var e enc
-	e.u32(protoMagic)
-	e.u16(ProtoVersion + 7)
-	e.u32(0)
-	e.u64(c.epoch)
-	expectRejection(e.b, frameHello, ErrVersionMismatch)
+	e.U32(protoMagic)
+	e.U16(ProtoVersion + 7)
+	e.U32(0)
+	e.U64(c.epoch)
+	expectRejection(e.B, frameHello, ErrVersionMismatch)
 	// Garbage first frame.
 	expectRejection([]byte("not a hello"), frameInsert, ErrBadFrame)
 	// Out-of-range node index.
@@ -281,5 +284,116 @@ func TestStaleWorkerRunWorker(t *testing.T) {
 	defer c.Stop()
 	if err := RunWorker(c.Addr(), 0, c.epoch^0xdead); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("got %v, want ErrStaleEpoch", err)
+	}
+}
+
+// runNetExactlyOnce drives one deterministic phased run over a real
+// worker cluster: warm the join window, checkpoint, grow the window past
+// the barrier, then (when fault is set) SIGKILL the join node, keep
+// feeding through the outage, and recover. Every batch is drained before
+// the next, and within the outage all S2 inserts precede all S1 probes,
+// so the faulted run's replayed probes see exactly the window content the
+// fault-free run's probes saw. Returns the final results and the multiset
+// of result identities (each result keyed by its input tuples' TupleIDs).
+func runNetExactlyOnce(t *testing.T, walDir string, fault bool) (engine.Results, map[string]int) {
+	t.Helper()
+	// Window far past the feed's timestamp range: no expiry, so probe
+	// results depend only on window content — what the WAL must recover.
+	q := query.NewNWayJoin("NETQ", 2, 1000)
+	q.Ops[0].Sel = 0.9
+	q.Ops[1].Sel = 0.9
+	c, err := NewCluster(q, physical.Assignment{0, 1}, 2, ClusterConfig{
+		Engine: engine.Config{WALDir: walDir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetChooser(engine.StaticChooser{Plan: query.Plan{0, 1}})
+	var mu sync.Mutex
+	set := make(map[string]int)
+	c.SetResultObserver(func(tuples []*stream.Joined, _ time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, j := range tuples {
+			set[fmt.Sprint(j.TupleIDs(nil))]++
+		}
+	})
+	c.Start()
+	var s1, s2 uint64
+	ts := 0.0
+	feed := func(streamName string, seq *uint64, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			ts++
+			if err := c.Ingest(testBatch(streamName, seq, ts, 10)); err != nil {
+				t.Fatal(err)
+			}
+			c.Drain()
+		}
+	}
+	feed("S2", &s2, 6) // warm the join window
+	feed("S1", &s1, 6) // pre-fault probes
+	c.Checkpoint()
+	feed("S2", &s2, 4) // window growth past the barrier: WAL-covered only
+	if fault {
+		if err := c.Crash(1, chaos.Checkpoint); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed("S2", &s2, 2) // outage inserts: retained as unacked, re-offered
+	feed("S1", &s1, 2) // outage probes: park, replay after recovery
+	if fault {
+		if err := c.Recover(1); err != nil {
+			t.Fatal(err)
+		}
+		c.Drain()
+	}
+	feed("S2", &s2, 2)
+	feed("S1", &s1, 4) // post-recovery probes: need the full window back
+	res := c.Stop()
+	return res, set
+}
+
+// TestChaosNetExactlyOnceSIGKILL is the distributed tentpole acceptance
+// test: a literal SIGKILL of the join worker between checkpoints, with
+// ingest continuing through the outage, must recover to exactly the
+// fault-free run's results — same count, same result identities, zero
+// duplicates. The respawned process replays the WAL its predecessor
+// fsync'd, the leader re-offers the inserts the dead incarnation never
+// acknowledged, and insert-time dedup collapses every overlap.
+func TestChaosNetExactlyOnceSIGKILL(t *testing.T) {
+	base, baseSet := runNetExactlyOnce(t, t.TempDir(), false)
+	if base.Produced == 0 {
+		t.Fatal("fault-free run produced nothing")
+	}
+	got, gotSet := runNetExactlyOnce(t, t.TempDir(), true)
+	if got.Crashes != 1 {
+		t.Fatalf("crashes=%d, want 1", got.Crashes)
+	}
+	if got.TuplesLost != 0 {
+		t.Fatalf("exactly-once recovery lost %d tuples", got.TuplesLost)
+	}
+	if got.Produced != base.Produced {
+		t.Fatalf("produced %d through SIGKILL+recover, fault-free %d", got.Produced, base.Produced)
+	}
+	if len(gotSet) != len(baseSet) {
+		t.Fatalf("distinct results %d through SIGKILL+recover, fault-free %d", len(gotSet), len(baseSet))
+	}
+	for k, n := range baseSet {
+		if gotSet[k] != n {
+			t.Fatalf("result %s produced %d times through SIGKILL+recover, fault-free %d", k, gotSet[k], n)
+		}
+	}
+	if got := len(LiveWorkers()); got != 0 {
+		t.Fatalf("%d workers outlived the exactly-once runs", got)
+	}
+
+	// The same fault schedule without the WAL must come up short: the
+	// outage-time inserts are dropped and the window rewinds to the
+	// checkpoint, so later probes find strictly fewer matches. This pins
+	// that the equality above is the durability layer's doing.
+	noWAL, _ := runNetExactlyOnce(t, "", true)
+	if noWAL.Produced >= base.Produced {
+		t.Fatalf("non-durable faulted run produced %d, want < %d (scenario does not exercise the WAL)", noWAL.Produced, base.Produced)
 	}
 }

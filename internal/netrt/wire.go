@@ -18,18 +18,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 
 	"rld/internal/stream"
+	"rld/internal/wire"
 )
 
 const (
 	// protoMagic opens every Hello frame ("RLD1").
 	protoMagic = 0x524C4431
 	// ProtoVersion is the wire protocol version; leader and worker must
-	// match exactly.
-	ProtoVersion = 1
+	// match exactly. v2 added the WAL control frames (barrier, mark,
+	// replay) for exactly-once durability.
+	ProtoVersion = 2
 	// MaxFrame bounds a single frame's payload. Frames beyond it are
 	// rejected with ErrFrameTooLarge before any allocation.
 	MaxFrame = 64 << 20
@@ -56,8 +57,10 @@ var (
 	// ErrStaleEpoch reports a worker from a previous leader incarnation
 	// (its handshake epoch does not match the live leader's).
 	ErrStaleEpoch = errors.New("netrt: stale worker epoch")
-	// ErrBadFrame reports a structurally invalid frame or payload.
-	ErrBadFrame = errors.New("netrt: malformed frame")
+	// ErrBadFrame reports a structurally invalid frame or payload. It is
+	// the shared wire.ErrCorrupt sentinel, so codec-level decode failures
+	// (which latch wire.ErrCorrupt) match it without re-wrapping.
+	ErrBadFrame = wire.ErrCorrupt
 	// ErrWorkerDown reports an RPC attempted against a crashed worker.
 	ErrWorkerDown = errors.New("netrt: worker down")
 	// ErrRemote reports a worker-side error frame with no more specific
@@ -87,6 +90,9 @@ const (
 	framePong                                // worker → leader: liveness reply
 	frameQuit                                // leader → worker: clean shutdown
 	frameStagePart                           // worker → leader: partials continuation before the stage result
+	frameWALBarrier                          // leader → worker: cut a WAL barrier before snapshot pulls
+	frameWALMark                             // leader → worker: checkpoint durable, truncate to the barrier
+	frameWALReplay                           // leader → worker: replay the retained WAL into the windows
 )
 
 // Error-frame codes, mapped back to the typed errors on decode.
@@ -163,9 +169,9 @@ func (wc *wireConn) writeFrame(t frameType, payload []byte) error {
 // closing a rejected connection).
 func (wc *wireConn) writeError(err error) {
 	var e enc
-	e.u8(errorToCode(err))
-	e.str(err.Error())
-	_ = wc.writeFrame(frameError, e.b)
+	e.U8(errorToCode(err))
+	e.Str(err.Error())
+	_ = wc.writeFrame(frameError, e.B)
 }
 
 // readFrame reads one frame. A connection ending cleanly between frames
@@ -196,86 +202,16 @@ func (wc *wireConn) readFrame() (frameType, []byte, error) {
 	return t, wc.buf, nil
 }
 
-// enc is an append-only little-endian payload encoder.
-type enc struct{ b []byte }
+// enc and dec are the shared payload codec (internal/wire), aliased so the
+// protocol's message codecs read unqualified; encodeBatch/decodeBatch are
+// the columnar batch serialization both netrt and the WAL use.
+type (
+	enc = wire.Enc
+	dec = wire.Dec
+)
 
-func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
-func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
-func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
-func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
-func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
-func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
-func (e *enc) str(s string) {
-	e.u32(uint32(len(s)))
-	e.b = append(e.b, s...)
-}
-
-// dec is the matching decoder; every underflow or inconsistency latches
-// err (an ErrBadFrame) and zero-values flow from then on, so message
-// decoders check err once at the end.
-type dec struct {
-	b   []byte
-	err error
-}
-
-func (d *dec) fail() {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: short payload", ErrBadFrame)
-	}
-}
-
-func (d *dec) take(n int) []byte {
-	if d.err != nil || len(d.b) < n {
-		d.fail()
-		return nil
-	}
-	out := d.b[:n]
-	d.b = d.b[n:]
-	return out
-}
-
-func (d *dec) u8() byte {
-	b := d.take(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (d *dec) u16() uint16 {
-	b := d.take(2)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint16(b)
-}
-
-func (d *dec) u32() uint32 {
-	b := d.take(4)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b)
-}
-
-func (d *dec) u64() uint64 {
-	b := d.take(8)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
-}
-
-func (d *dec) i64() int64   { return int64(d.u64()) }
-func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
-func (d *dec) str() string {
-	n := d.u32()
-	if d.err != nil || uint64(n) > uint64(len(d.b)) {
-		d.fail()
-		return ""
-	}
-	return string(d.take(int(n)))
-}
+func encodeBatch(e *enc, b *stream.Batch)       { wire.EncodeBatch(e, b) }
+func decodeBatch(d *dec) (*stream.Batch, error) { return wire.DecodeBatch(d) }
 
 // helloMsg is the worker's handshake.
 type helloMsg struct {
@@ -285,23 +221,23 @@ type helloMsg struct {
 
 func encodeHello(node int, epoch uint64) []byte {
 	var e enc
-	e.u32(protoMagic)
-	e.u16(ProtoVersion)
-	e.u32(uint32(node))
-	e.u64(epoch)
-	return e.b
+	e.U32(protoMagic)
+	e.U16(ProtoVersion)
+	e.U32(uint32(node))
+	e.U64(epoch)
+	return e.B
 }
 
 // decodeHello validates magic and version; epoch/node validation is the
 // leader's (it knows the live epoch and cluster size).
 func decodeHello(payload []byte) (helloMsg, error) {
-	d := dec{b: payload}
-	magic := d.u32()
-	ver := d.u16()
-	node := d.u32()
-	epoch := d.u64()
-	if d.err != nil {
-		return helloMsg{}, d.err
+	d := dec{B: payload}
+	magic := d.U32()
+	ver := d.U16()
+	node := d.U32()
+	epoch := d.U64()
+	if d.Err != nil {
+		return helloMsg{}, d.Err
 	}
 	if magic != protoMagic {
 		return helloMsg{}, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, magic)
@@ -312,64 +248,11 @@ func decodeHello(payload []byte) (helloMsg, error) {
 	return helloMsg{node: int(node), epoch: epoch}, nil
 }
 
-// encodeBatch appends b's columns: stream name, width, row count, the four
-// attribute columns, then the flat payload column.
-func encodeBatch(e *enc, b *stream.Batch) {
-	e.str(b.Stream)
-	w := b.Width()
-	if w < 0 {
-		w = 0
-	}
-	e.u16(uint16(w))
-	n := b.Len()
-	e.u32(uint32(n))
-	for i := 0; i < n; i++ {
-		e.u64(b.Seq[i])
-		e.f64(float64(b.Ts[i]))
-		e.i64(b.Key[i])
-		e.f64(float64(b.Arr[i]))
-	}
-	for _, v := range b.Vals[:n*w] {
-		e.f64(v)
-	}
-}
-
-// decodeBatch rebuilds a batch from the wire (a fresh allocation — decoded
-// batches feed window inserts, which copy, so pooling buys nothing here).
-func decodeBatch(d *dec) (*stream.Batch, error) {
-	name := d.str()
-	w := int(d.u16())
-	n := int(d.u32())
-	if d.err != nil {
-		return nil, d.err
-	}
-	// Bound the row count by what the remaining payload can actually
-	// hold, so a corrupt header cannot trigger a huge allocation.
-	if uint64(n)*uint64(32+8*w) > uint64(len(d.b)) {
-		return nil, fmt.Errorf("%w: batch rows exceed payload", ErrBadFrame)
-	}
-	b := stream.NewSizedBatch(name, w, n)
-	for i := 0; i < n; i++ {
-		seq := d.u64()
-		ts := stream.Time(d.f64())
-		key := d.i64()
-		arr := stream.Time(d.f64())
-		b.AppendRow(seq, ts, key, arr)
-	}
-	for i := range b.Vals {
-		b.Vals[i] = d.f64()
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	return b, nil
-}
-
 // encodePartials appends a slice of join partials: count, then per partial
 // the populated-slot mask followed by each populated part in ascending slot
 // order (seq, ts, key, arrival, payload).
 func encodePartials(e *enc, sch *stream.JoinSchema, ps []*stream.Joined) {
-	e.u32(uint32(len(ps)))
+	e.U32(uint32(len(ps)))
 	for _, p := range ps {
 		var mask uint64
 		for slot := 0; slot < sch.Len(); slot++ {
@@ -377,19 +260,19 @@ func encodePartials(e *enc, sch *stream.JoinSchema, ps []*stream.Joined) {
 				mask |= 1 << uint(slot)
 			}
 		}
-		e.u64(mask)
+		e.U64(mask)
 		for slot := 0; slot < sch.Len(); slot++ {
 			t, ok := p.Part(slot)
 			if !ok {
 				continue
 			}
-			e.u64(t.Seq)
-			e.f64(float64(t.Ts))
-			e.i64(t.Key)
-			e.f64(float64(t.Arrival))
-			e.u16(uint16(len(t.Vals)))
+			e.U64(t.Seq)
+			e.F64(float64(t.Ts))
+			e.I64(t.Key)
+			e.F64(float64(t.Arrival))
+			e.U16(uint16(len(t.Vals)))
 			for _, v := range t.Vals {
-				e.f64(v)
+				e.F64(v)
 			}
 		}
 	}
@@ -436,43 +319,43 @@ func splitPartials(sch *stream.JoinSchema, ps []*stream.Joined, limit int) [][]*
 // Parts are applied in ascending slot order, which reproduces the Ts=max /
 // Arrival=min aggregates SetPart folds exactly as the sender computed them.
 func decodePartials(d *dec, sch *stream.JoinSchema, dst []*stream.Joined) ([]*stream.Joined, error) {
-	n := int(d.u32())
-	if d.err != nil {
-		return dst, d.err
+	n := int(d.U32())
+	if d.Err != nil {
+		return dst, d.Err
 	}
 	// Each partial costs at least a mask on the wire.
-	if uint64(n)*8 > uint64(len(d.b)) {
+	if uint64(n)*8 > uint64(len(d.B)) {
 		return dst, fmt.Errorf("%w: partial count exceeds payload", ErrBadFrame)
 	}
 	var vals []float64
 	for i := 0; i < n; i++ {
-		mask := d.u64()
+		mask := d.U64()
 		if mask>>uint(sch.Len()) != 0 {
-			d.err = fmt.Errorf("%w: partial mask has out-of-schema slots", ErrBadFrame)
+			d.Err = fmt.Errorf("%w: partial mask has out-of-schema slots", ErrBadFrame)
 		}
 		j := sch.Acquire()
-		for slot := 0; slot < sch.Len() && d.err == nil; slot++ {
+		for slot := 0; slot < sch.Len() && d.Err == nil; slot++ {
 			if mask&(1<<uint(slot)) == 0 {
 				continue
 			}
-			seq := d.u64()
-			ts := stream.Time(d.f64())
-			key := d.i64()
-			arr := stream.Time(d.f64())
-			nv := int(d.u16())
-			if uint64(nv)*8 > uint64(len(d.b)) {
-				d.fail()
+			seq := d.U64()
+			ts := stream.Time(d.F64())
+			key := d.I64()
+			arr := stream.Time(d.F64())
+			nv := int(d.U16())
+			if uint64(nv)*8 > uint64(len(d.B)) {
+				d.Fail()
 				break
 			}
 			vals = vals[:0]
 			for v := 0; v < nv; v++ {
-				vals = append(vals, d.f64())
+				vals = append(vals, d.F64())
 			}
 			j.SetPart(slot, seq, ts, key, arr, vals)
 		}
-		if d.err != nil {
+		if d.Err != nil {
 			j.Release()
-			return dst, d.err
+			return dst, d.Err
 		}
 		dst = append(dst, j)
 	}

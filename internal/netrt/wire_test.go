@@ -91,22 +91,22 @@ func TestHelloVersionMismatch(t *testing.T) {
 	// A hello from a future protocol version must decode to the typed
 	// mismatch error, not garbage fields.
 	var e enc
-	e.u32(protoMagic)
-	e.u16(ProtoVersion + 1)
-	e.u32(3)
-	e.u64(42)
-	if _, err := decodeHello(e.b); !errors.Is(err, ErrVersionMismatch) {
+	e.U32(protoMagic)
+	e.U16(ProtoVersion + 1)
+	e.U32(3)
+	e.U64(42)
+	if _, err := decodeHello(e.B); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("got %v, want ErrVersionMismatch", err)
 	}
 }
 
 func TestHelloBadMagicAndShort(t *testing.T) {
 	var e enc
-	e.u32(0xdeadbeef)
-	e.u16(ProtoVersion)
-	e.u32(0)
-	e.u64(0)
-	if _, err := decodeHello(e.b); !errors.Is(err, ErrBadFrame) {
+	e.U32(0xdeadbeef)
+	e.U16(ProtoVersion)
+	e.U32(0)
+	e.U64(0)
+	if _, err := decodeHello(e.B); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("bad magic: got %v, want ErrBadFrame", err)
 	}
 	if _, err := decodeHello([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
@@ -144,7 +144,7 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 	var e enc
 	encodeBatch(&e, b)
-	d := dec{b: e.b}
+	d := dec{B: e.B}
 	got, err := decodeBatch(&d)
 	if err != nil {
 		t.Fatal(err)
@@ -169,10 +169,10 @@ func TestDecodeBatchCorruptRowCount(t *testing.T) {
 	// A header claiming far more rows than the payload holds must fail
 	// typed, before any large allocation.
 	var e enc
-	e.str("S1")
-	e.u16(1)
-	e.u32(1 << 30)
-	d := dec{b: e.b}
+	e.Str("S1")
+	e.U16(1)
+	e.U32(1 << 30)
+	d := dec{B: e.B}
 	if _, err := decodeBatch(&d); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("got %v, want ErrBadFrame", err)
 	}
@@ -185,7 +185,7 @@ func TestPartialsRoundTrip(t *testing.T) {
 	p.SetPart(2, 5, 12, 7, 8, []float64{3})
 	var e enc
 	encodePartials(&e, sch, []*stream.Joined{p})
-	d := dec{b: e.b}
+	d := dec{B: e.B}
 	out, err := decodePartials(&d, sch, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -291,9 +291,9 @@ func TestWriteFrameTooLarge(t *testing.T) {
 func TestDecodePartialsBadMask(t *testing.T) {
 	sch := stream.NewJoinSchema([]string{"S1", "S2"})
 	var e enc
-	e.u32(1)
-	e.u64(1 << 5) // slot 5 of a 2-slot schema
-	d := dec{b: e.b}
+	e.U32(1)
+	e.U64(1 << 5) // slot 5 of a 2-slot schema
+	d := dec{B: e.B}
 	if _, err := decodePartials(&d, sch, nil); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("got %v, want ErrBadFrame", err)
 	}

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"rld/internal/engine"
 	"rld/internal/query"
 	"rld/internal/stream"
+	"rld/internal/wal"
 )
 
 // setupMsg is the Welcome payload: everything a worker needs to build its
@@ -53,11 +56,11 @@ func RunWorker(leaderAddr string, node int, epoch uint64) error {
 	switch t {
 	case frameWelcome:
 	case frameError:
-		d := dec{b: payload}
-		code := d.u8()
-		msg := d.str()
-		if d.err != nil {
-			return d.err
+		d := dec{B: payload}
+		code := d.U8()
+		msg := d.Str()
+		if d.Err != nil {
+			return d.Err
 		}
 		return codeToError(code, msg)
 	default:
@@ -75,11 +78,31 @@ func RunWorker(leaderAddr string, node int, epoch uint64) error {
 	if chunk <= 0 {
 		chunk = DefaultStageChunk
 	}
-	return serve(wc, core, chunk)
+	// Durable mode: this node's WAL lives in a per-cluster, per-node
+	// directory keyed by the leader's epoch, so a respawned incarnation of
+	// the same node finds (and replays) the log its predecessor fsync'd
+	// before being SIGKILLed, while a different cluster run in the same
+	// WALDir cannot collide.
+	var wlog *wal.Log
+	if setup.Config.WALDir != "" {
+		dir := filepath.Join(setup.Config.WALDir, fmt.Sprintf("cluster-%d", epoch), fmt.Sprintf("node-%d", node))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrWALDir, err)
+		}
+		if wlog, err = wal.Open(dir); err != nil {
+			return err
+		}
+		defer wlog.Close()
+	}
+	return serve(wc, core, chunk, wlog)
 }
 
-// serve is the worker request loop.
-func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
+// serve is the worker request loop. wlog, non-nil only in durable mode,
+// is the node's local write-ahead log: inserts are logged and fsync'd
+// before they touch window state, so the log always covers at least what
+// the windows hold and a SIGKILL at any instant loses nothing the leader
+// saw acknowledged.
+func serve(wc *wireConn, core *engine.NodeCore, chunk int, wlog *wal.Log) error {
 	sch := core.Schema()
 	var reply enc
 	for {
@@ -90,19 +113,33 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 			}
 			return err
 		}
-		d := dec{b: payload}
-		reply.b = reply.b[:0]
+		d := dec{B: payload}
+		reply.B = reply.B[:0]
 		switch t {
 		case frameInsert:
-			nOps := int(d.u16())
+			nOps := int(d.U16())
 			ops := make([]int, 0, nOps)
 			for i := 0; i < nOps; i++ {
-				ops = append(ops, int(d.u16()))
+				ops = append(ops, int(d.U16()))
 			}
 			b, derr := decodeBatch(&d)
 			if derr != nil {
 				wc.writeError(derr)
 				return derr
+			}
+			// Log before apply: once the leader sees the OK, the insert is
+			// on disk; a crash before the OK leaves the leader retaining
+			// the batch for re-offer, and the insert-time dedup absorbs
+			// the overlap if both survived.
+			if wlog != nil {
+				lerr := wlog.Append(wal.Record{Ops: ops, Batch: b})
+				if lerr == nil {
+					lerr = wlog.Sync()
+				}
+				if lerr != nil {
+					wc.writeError(lerr)
+					return lerr
+				}
 			}
 			for _, op := range ops {
 				if err := core.Insert(op, b); err != nil {
@@ -114,7 +151,7 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 				return err
 			}
 		case frameStage:
-			op := int(d.u16())
+			op := int(d.U16())
 			partials, derr := decodePartials(&d, sch, core.NewPartials())
 			if derr != nil {
 				core.ReleasePartials(partials)
@@ -133,9 +170,9 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 			// selectivity counters plus the tail segment.
 			segs := splitPartials(sch, out, chunk)
 			for len(segs) > 1 {
-				reply.b = reply.b[:0]
+				reply.B = reply.B[:0]
 				encodePartials(&reply, sch, segs[0])
-				if err := wc.writeFrame(frameStagePart, reply.b); err != nil {
+				if err := wc.writeFrame(frameStagePart, reply.B); err != nil {
 					core.ReleasePartials(out)
 					return err
 				}
@@ -145,19 +182,19 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 			if len(segs) == 1 {
 				tail = segs[0]
 			}
-			reply.b = reply.b[:0]
-			reply.i64(selIn)
-			reply.i64(selOut)
+			reply.B = reply.B[:0]
+			reply.I64(selIn)
+			reply.I64(selOut)
 			encodePartials(&reply, sch, tail)
 			core.ReleasePartials(out)
-			if err := wc.writeFrame(frameStageResult, reply.b); err != nil {
+			if err := wc.writeFrame(frameStageResult, reply.B); err != nil {
 				return err
 			}
 		case frameSnapshot:
-			op := int(d.u16())
-			if d.err != nil {
-				wc.writeError(d.err)
-				return d.err
+			op := int(d.U16())
+			if d.Err != nil {
+				wc.writeError(d.Err)
+				return d.Err
 			}
 			if op < 0 || op >= core.NumOps() {
 				err := fmt.Errorf("%w: snapshot op %d", ErrBadFrame, op)
@@ -165,18 +202,18 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 				return err
 			}
 			if b := core.SnapshotOp(op); b != nil {
-				reply.u8(1)
+				reply.U8(1)
 				encodeBatch(&reply, b)
 			} else {
-				reply.u8(0)
+				reply.U8(0)
 			}
-			if err := wc.writeFrame(frameSnapshotResult, reply.b); err != nil {
+			if err := wc.writeFrame(frameSnapshotResult, reply.B); err != nil {
 				return err
 			}
 		case frameRestore:
-			op := int(d.u16())
-			hasBatch := d.u8()
-			if op < 0 || op >= core.NumOps() || d.err != nil {
+			op := int(d.U16())
+			hasBatch := d.U8()
+			if op < 0 || op >= core.NumOps() || d.Err != nil {
 				err := fmt.Errorf("%w: restore op %d", ErrBadFrame, op)
 				wc.writeError(err)
 				return err
@@ -195,14 +232,66 @@ func serve(wc *wireConn, core *engine.NodeCore, chunk int) error {
 				return err
 			}
 		case frameClear:
-			op := int(d.u16())
-			if op < 0 || op >= core.NumOps() || d.err != nil {
+			op := int(d.U16())
+			if op < 0 || op >= core.NumOps() || d.Err != nil {
 				err := fmt.Errorf("%w: clear op %d", ErrBadFrame, op)
 				wc.writeError(err)
 				return err
 			}
 			core.ClearOp(op)
 			if err := wc.writeFrame(frameOK, nil); err != nil {
+				return err
+			}
+		case frameWALBarrier:
+			if wlog == nil {
+				err := fmt.Errorf("%w: wal barrier on non-durable worker", ErrBadFrame)
+				wc.writeError(err)
+				return err
+			}
+			if err := wlog.Barrier(); err != nil {
+				wc.writeError(err)
+				return err
+			}
+			if err := wc.writeFrame(frameOK, nil); err != nil {
+				return err
+			}
+		case frameWALMark:
+			if wlog == nil {
+				err := fmt.Errorf("%w: wal mark on non-durable worker", ErrBadFrame)
+				wc.writeError(err)
+				return err
+			}
+			if err := wlog.Truncate(); err != nil {
+				wc.writeError(err)
+				return err
+			}
+			if err := wc.writeFrame(frameOK, nil); err != nil {
+				return err
+			}
+		case frameWALReplay:
+			if wlog == nil {
+				err := fmt.Errorf("%w: wal replay on non-durable worker", ErrBadFrame)
+				wc.writeError(err)
+				return err
+			}
+			// Re-insert everything the retained log covers; records the
+			// restored snapshot already holds dedup to nothing.
+			var count uint64
+			rerr := wlog.Replay(func(r wal.Record) error {
+				for _, op := range r.Ops {
+					if err := core.Insert(op, r.Batch); err != nil {
+						return err
+					}
+				}
+				count += uint64(r.Batch.Len())
+				return nil
+			})
+			if rerr != nil {
+				wc.writeError(rerr)
+				return rerr
+			}
+			reply.U64(count)
+			if err := wc.writeFrame(frameOK, reply.B); err != nil {
 				return err
 			}
 		case framePing:

@@ -9,6 +9,7 @@ import (
 	"rld/internal/runtime"
 	"rld/internal/sim"
 	"rld/internal/stream"
+	"rld/internal/wal"
 )
 
 // Session protocol types (internal/runtime): the long-lived streaming API
@@ -65,6 +66,12 @@ var (
 	ErrInvalidPlan = engine.ErrInvalidPlan
 	// ErrBadPlacement reports an incomplete or out-of-range placement.
 	ErrBadPlacement = engine.ErrBadPlacement
+	// ErrWALDir reports an unusable exactly-once WAL directory.
+	ErrWALDir = wal.ErrWALDir
+	// ErrWALCorrupt reports a malformed write-ahead-log record. Replay
+	// recovers from torn or corrupt tails on its own; this surfaces only
+	// from direct record decoding.
+	ErrWALCorrupt = wal.ErrWALCorrupt
 )
 
 // pipelineConfig is the resolved functional-option state.
@@ -169,6 +176,22 @@ func WithDistributed(n int) Option {
 // WithDistributed.
 func WithWorkerCommand(argv ...string) Option {
 	return func(c *pipelineConfig) { c.workerCmd = argv }
+}
+
+// WithExactlyOnce turns on exactly-once durability, journaling window
+// state under dir: every ingested batch is appended to a CRC-checked,
+// fsync'd write-ahead log before it mutates join-window state, checkpoints
+// become WAL barriers (truncating the log back to the last durable
+// snapshot), and Checkpoint-mode crash recovery replays the retained
+// suffix on top of the restored snapshot, deduplicating on stable per-tuple
+// IDs — a crashed and recovered run produces exactly the results of a
+// fault-free one. On the in-process engine the log guards window state;
+// in distributed mode every worker process keeps its own fsync'd WAL under
+// dir and the leader re-offers unacknowledged inserts on respawn. The
+// simulator ignores the option (it has no real state to lose). Expect an
+// ingest-throughput cost for the fsyncs; see BenchmarkIngestDurable.
+func WithExactlyOnce(dir string) Option {
+	return func(c *pipelineConfig) { c.engine.WALDir = dir }
 }
 
 // WithClassifyBatch sets the ruster size used to account the default RLD
