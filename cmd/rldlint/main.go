@@ -26,8 +26,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line")
 	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to exclude (default: none)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rldlint [-json] [-only a,b] [./... | package dirs]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rldlint [-json] [-only a,b] [-skip a,b] [./... | package dirs]\n\nanalyzers:\n")
 		for _, a := range analyzers.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -35,7 +36,7 @@ func main() {
 	}
 	flag.Parse()
 
-	active, err := selectAnalyzers(*only)
+	active, err := selectAnalyzers(*only, *skip)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rldlint:", err)
 		flag.Usage()
@@ -77,30 +78,51 @@ func main() {
 	}
 }
 
-// selectAnalyzers applies the -only filter against the registry.
-func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+// selectAnalyzers applies the -only and -skip filters against the
+// registry. Unknown names are usage errors that list the valid set.
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
 	all := analyzers.All()
-	if only == "" {
-		return all, nil
+	valid := make([]string, len(all))
+	byName := make(map[string]bool, len(all))
+	for i, a := range all {
+		valid[i] = a.Name
+		byName[a.Name] = true
 	}
-	byName := make(map[string]*lint.Analyzer, len(all))
-	for _, a := range all {
-		byName[a.Name] = a
+	parse := func(flagName, list string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !byName[name] {
+				return nil, fmt.Errorf("%s: unknown analyzer %q (valid: %s)",
+					flagName, name, strings.Join(valid, ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("-only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("-skip", skip)
+	if err != nil {
+		return nil, err
 	}
 	var out []*lint.Analyzer
-	for _, name := range strings.Split(only, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
 			continue
 		}
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+		if skipSet[a.Name] {
+			continue
 		}
 		out = append(out, a)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("-only selected no analyzers")
+		return nil, fmt.Errorf("-only/-skip selected no analyzers")
 	}
 	return out, nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rld/internal/lint"
+	"rld/internal/lint/analyzers"
+)
+
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// TestSelectAnalyzers pins the -only/-skip contract: -only keeps a subset,
+// -skip removes one, the two compose, and an unknown name in either flag
+// is a usage error that lists every valid analyzer.
+func TestSelectAnalyzers(t *testing.T) {
+	all := names(analyzers.All())
+
+	got, err := selectAnalyzers("", "")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf("no filters: got %v, %v; want all %d analyzers", names(got), err, len(all))
+	}
+
+	got, err = selectAnalyzers("wallclock, rawerror", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := names(got); len(g) != 2 || g[0] != "rawerror" || g[1] != "wallclock" {
+		t.Fatalf("-only wallclock,rawerror: got %v", g)
+	}
+
+	got, err = selectAnalyzers("", "wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := names(got); len(g) != len(all)-1 {
+		t.Fatalf("-skip wallclock: got %v", g)
+	} else {
+		for _, n := range g {
+			if n == "wallclock" {
+				t.Fatalf("-skip wallclock left it active: %v", g)
+			}
+		}
+	}
+
+	got, err = selectAnalyzers("wallclock,rawerror", "rawerror")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := names(got); len(g) != 1 || g[0] != "wallclock" {
+		t.Fatalf("-only + -skip compose: got %v", g)
+	}
+
+	for _, bad := range []struct{ only, skip string }{
+		{"nosuch", ""},
+		{"", "nosuch"},
+	} {
+		_, err := selectAnalyzers(bad.only, bad.skip)
+		if err == nil {
+			t.Fatalf("only=%q skip=%q: no error for unknown analyzer", bad.only, bad.skip)
+		}
+		for _, n := range all {
+			if !strings.Contains(err.Error(), n) {
+				t.Errorf("unknown-analyzer error does not list %q: %v", n, err)
+			}
+		}
+	}
+
+	if _, err := selectAnalyzers("wallclock", "wallclock"); err == nil {
+		t.Fatal("empty selection (only==skip) accepted")
+	}
+}

@@ -154,10 +154,10 @@ type nodeState struct {
 	// LoseState), and sends park or lose directly. The down check and the
 	// enqueue happen in one critical section, so no message can slip into
 	// the inbox after Crash's sweep.
-	down bool
-	mode chaos.RecoveryMode
+	down bool               //rldlint:guardedby mu
+	mode chaos.RecoveryMode //rldlint:guardedby mu
 	// parked holds messages awaiting replay on recovery.
-	parked []*message
+	parked []*message //rldlint:guardedby mu
 	// overflow is the FIFO ring holding messages that did not fit the
 	// inbox: senders append at the tail, workers (and senders, after a
 	// push) flush from the head into the inbox as slots free up. Entries
@@ -166,16 +166,16 @@ type nodeState struct {
 	// goroutine count flat under sustained overload and preserves
 	// per-stage arrival order (the logical queue is inbox followed by
 	// overflow, and nothing ever bypasses a non-empty ring).
-	overflow []*message
-	ovHead   int
+	overflow []*message //rldlint:guardedby mu
+	ovHead   int        //rldlint:guardedby mu
 	// slow is the current capacity factor in (0, 1].
-	slow float64
+	slow float64 //rldlint:guardedby mu
 	// wake is closed and replaced when the node's active-worker count
 	// rises, waking workers paused by the slowdown gate.
-	wake chan struct{}
+	wake chan struct{} //rldlint:guardedby mu
 	// quit kills the current worker pool when closed; wg tracks its
 	// membership.
-	quit chan struct{}
+	quit chan struct{} //rldlint:guardedby mu
 	wg   sync.WaitGroup
 }
 
@@ -271,23 +271,24 @@ type Engine struct {
 	// producers block on a channel instead of polling. The waiters gate
 	// keeps the workers' hot path at one atomic load when nobody waits.
 	waitMu  sync.Mutex
-	waitCh  chan struct{}
+	waitCh  chan struct{} //rldlint:guardedby waitMu
 	waiters atomic.Int32
+
+	// wlog is the exactly-once write-ahead log (nil without
+	// Config.WALDir), set once in NewEngine and immutable after — no lock
+	// guards the pointer itself. walMu orders logged inserts against
+	// checkpoint barriers: Ingest holds the read side across its
+	// append+insert pair, Checkpoint the write side across
+	// snapshot+barrier+truncate, and Recover the write side across
+	// restore+replay — so every logged insert is either covered by the
+	// snapshot before the barrier or retained after it, never split.
+	wlog  *wal.Log
+	walMu sync.RWMutex
 
 	// snapMu guards snaps, the latest Checkpoint()'s per-op window
 	// contents as columnar batches (nil until the first checkpoint).
 	snapMu sync.Mutex
-	snaps  []*stream.Batch
-
-	// wlog is the exactly-once write-ahead log (nil without
-	// Config.WALDir). walMu orders logged inserts against checkpoint
-	// barriers: Ingest holds the read side across its append+insert pair,
-	// Checkpoint the write side across snapshot+barrier+truncate, and
-	// Recover the write side across restore+replay — so every logged
-	// insert is either covered by the snapshot before the barrier or
-	// retained after it, never split.
-	wlog  *wal.Log
-	walMu sync.RWMutex
+	snaps  []*stream.Batch //rldlint:guardedby snapMu
 
 	// sendMu fences Ingest against Stop: Ingest holds the read side for
 	// its whole body, and Stop takes the write side after setting the
@@ -299,19 +300,19 @@ type Engine struct {
 	// another Stop returns fully-drained results.
 	stopDone chan struct{}
 
-	mu        sync.Mutex // guards the ingest-side state below
-	ingested  int64
-	batches   int64
-	planUse   map[string]int64
-	switches  int
-	lastKey   string
-	rateCount map[string]float64
-	started   bool
-	stopped   bool
+	mu        sync.Mutex         // guards the ingest-side state below
+	ingested  int64              //rldlint:guardedby mu
+	batches   int64              //rldlint:guardedby mu
+	planUse   map[string]int64   //rldlint:guardedby mu
+	switches  int                //rldlint:guardedby mu
+	lastKey   string             //rldlint:guardedby mu
+	rateCount map[string]float64 //rldlint:guardedby mu
+	started   bool               //rldlint:guardedby mu
+	stopped   bool               //rldlint:guardedby mu
 	// plans interns each distinct plan the chooser has returned: the
 	// canonical clone plus its precomputed key, so recurring plans skip
 	// the per-batch Clone/Valid/Key allocations. Bounded by maxInterned.
-	plans []internedPlan
+	plans []internedPlan //rldlint:guardedby mu
 }
 
 // internedPlan is one cached, validated plan and its routing key.
@@ -444,6 +445,12 @@ func (e *Engine) startPool(i int) {
 func (e *Engine) worker(id, idx int) {
 	ns := e.nodes[id]
 	defer ns.wg.Done()
+	// quit is fixed for this pool generation — Recover replaces it only
+	// after close+wg.Wait has retired every worker reading the old one —
+	// so one locked snapshot covers the whole loop.
+	ns.mu.Lock()
+	quit := ns.quit
+	ns.mu.Unlock()
 	for {
 		// Slowdown gate: paused workers (index ≥ active) block on the
 		// node's wake channel without consuming messages. One atomic load
@@ -457,13 +464,13 @@ func (e *Engine) worker(id, idx int) {
 				break
 			}
 			select {
-			case <-ns.quit:
+			case <-quit:
 				return
 			case <-wake:
 			}
 		}
 		select {
-		case <-ns.quit:
+		case <-quit:
 			return
 		case msg := <-ns.inbox:
 			// The receive freed an inbox slot: pull overflowed work in
@@ -1176,7 +1183,10 @@ func (e *Engine) Stop() Results {
 				e.lose(m)
 			}
 		} else {
-			close(ns.quit)
+			ns.mu.Lock()
+			quit := ns.quit
+			ns.mu.Unlock()
+			close(quit)
 		}
 	}
 	for _, ns := range e.nodes {

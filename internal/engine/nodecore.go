@@ -107,7 +107,7 @@ func (sc *shardScratch) group(n, nShards int) {
 // contend.
 type opShard struct {
 	mu     sync.Mutex
-	window *stream.Window
+	window *stream.Window //rldlint:guardedby mu
 }
 
 // opState is the runtime state of one operator: the sharded window plus
@@ -137,8 +137,8 @@ type opState struct {
 	// makes insertion idempotent, which is what turns at-least-once
 	// delivery into exactly-once.
 	seenMu      sync.Mutex
-	seen        map[stream.TupleID]stream.Time
-	seenPruneAt int
+	seen        map[stream.TupleID]stream.Time //rldlint:guardedby seenMu
+	seenPruneAt int                            //rldlint:guardedby seenMu
 }
 
 // dedupFilter returns b with every already-seen tuple removed, recording
@@ -214,6 +214,7 @@ func (s *opState) advanceTs(ts float64) {
 // retains exactly the set per-tuple insertion would (expiration is a prefix
 // scan, so intermediate cutoffs only evict what the final one evicts).
 func (s *opState) insertBatch(b *stream.Batch, sc *shardScratch) {
+	//rldlint:allow guardedby -- nil-ness is a construction-time mode flag (durable vs not), never written after; only the map contents need seenMu
 	if s.seen != nil {
 		if b = s.dedupFilter(b); b == nil {
 			return
@@ -553,6 +554,7 @@ func (c *NodeCore) ClearOp(op int) {
 		sh.mu.Unlock()
 	}
 	st.winLen.Add(int64(-total))
+	//rldlint:allow guardedby -- nil-ness is a construction-time mode flag; ClearOp swaps in a fresh map, never nil
 	if st.seen != nil {
 		st.seenMu.Lock()
 		st.seen = make(map[stream.TupleID]stream.Time)

@@ -158,15 +158,21 @@ type Session struct {
 	swaps       int
 	closed      bool
 
+	// done is set at construction and never reassigned; it closes as
+	// finish's last act, after report is published under mu, so a
+	// receiver needs no lock for the channel itself and sees report via
+	// the close's happens-before edge.
+	done chan struct{}
+
 	// polMu serializes policy calls from concurrent fast-path producers
 	// (the Policy contract promises implementations a single caller) and
-	// guards the overhead accumulator.
+	// guards the overhead accumulator. pol is written under both mu and
+	// polMu, so a reader holding either sees a settled value.
 	polMu    sync.Mutex
-	pol      runtime.Policy
-	overhead float64
+	pol      runtime.Policy //rldlint:guardedby polMu
+	overhead float64        //rldlint:guardedby polMu
 
-	done   chan struct{}
-	report *runtime.Report
+	report *runtime.Report //rldlint:guardedby mu
 }
 
 // OpenSession starts a live-engine session executing q across nNodes nodes
@@ -442,6 +448,7 @@ func (s *Session) ingest(b *stream.Batch) error {
 			s.overhead += s.pol.DecisionOverhead()
 			s.polMu.Unlock()
 			assign := s.e.Assignment()
+			//rldlint:allow guardedby -- pol writes hold mu too, and the tick runs under mu's write side with admissions fenced out, so no concurrent policy caller exists
 			if mig := s.pol.Rebalance(s.nextTick, loads, assign); mig != nil {
 				// Same-node requests are no-ops and not counted, matching
 				// the simulator's accounting.
@@ -628,6 +635,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 		s.mu.Unlock()
 		select {
 		case <-s.done:
+			//rldlint:allow guardedby -- report is written under mu before done closes; the close's happens-before edge covers this read
 			return s.report, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -650,7 +658,7 @@ func (s *Session) Close(ctx context.Context) (*runtime.Report, error) {
 		s.downSeconds += end - since
 	}
 	s.downSince = make(map[int]float64)
-	pol := s.pol
+	pol := s.pol //rldlint:allow guardedby -- pol writes hold mu too; this read holds mu's write side
 	s.mu.Unlock()
 
 	finish := func() *runtime.Report {

@@ -6,6 +6,9 @@ import (
 	"rld/internal/lint"
 	"rld/internal/lint/atomicmix"
 	"rld/internal/lint/batchrelease"
+	"rld/internal/lint/exhaustiveframe"
+	"rld/internal/lint/guardedby"
+	"rld/internal/lint/lockorder"
 	"rld/internal/lint/rawerror"
 	"rld/internal/lint/unboundedgo"
 	"rld/internal/lint/wallclock"
@@ -16,6 +19,9 @@ func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		atomicmix.Analyzer,
 		batchrelease.Analyzer,
+		exhaustiveframe.Analyzer,
+		guardedby.Analyzer,
+		lockorder.Analyzer,
 		rawerror.Analyzer,
 		unboundedgo.Analyzer,
 		wallclock.Analyzer,

@@ -1,0 +1,58 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rld/internal/lint"
+	"rld/internal/lint/analyzers"
+)
+
+// TestRegistryComplete is the registry's self-check: every analyzer has a
+// unique name, a non-empty one-line Doc, exactly one of Run/RunModule, a
+// known-bad and known-good corpus under its own testdata directory, and a
+// row in the README's analyzer table. Growing the registry without the
+// matching corpus or documentation fails here, not in review.
+func TestRegistryComplete(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all := analyzers.All()
+	if len(all) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" {
+			t.Fatal("analyzer with empty name")
+		}
+		if seen[a.Name] {
+			t.Errorf("%s: duplicate registration", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" || strings.Contains(a.Doc, "\n") {
+			t.Errorf("%s: Doc must be a non-empty single line, got %q", a.Name, a.Doc)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("%s: want exactly one of Run/RunModule", a.Name)
+		}
+		for _, corpus := range []string{"bad", "good"} {
+			dir := filepath.Join(root, "internal", "lint", a.Name, "testdata", corpus)
+			entries, err := os.ReadDir(dir)
+			if err != nil || len(entries) == 0 {
+				t.Errorf("%s: missing or empty %s corpus at %s", a.Name, corpus, dir)
+			}
+		}
+		if !strings.Contains(string(readme), "`"+a.Name+"`") {
+			t.Errorf("%s: no row in the README analyzer table", a.Name)
+		}
+	}
+}

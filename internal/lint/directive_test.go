@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"path/filepath"
+	"slices"
+	"sort"
 	"testing"
 )
 
@@ -19,6 +21,27 @@ var fakeAnalyzer = &Analyzer{
 				}
 				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
 					pass.Reportf(call.Pos(), "flagme called")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// fake2Analyzer reports the same flagme calls under a second name, so
+// tests can tell which entries of an allow list took effect.
+var fake2Analyzer = &Analyzer{
+	Name: "fake2",
+	Doc:  "flags calls to flagme under a second name (allow-list tests)",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(call.Pos(), "flagme called (fake2)")
 				}
 				return true
 			})
@@ -65,5 +88,78 @@ func TestAllowDirectiveScope(t *testing.T) {
 	}
 	for line, got := range byLine {
 		t.Errorf("line %d: unexpected diagnostics %v (suppression leaked or failed)", line, got)
+	}
+}
+
+// TestAllowDirectiveList pins the comma-separated analyzer list: one
+// directive naming several analyzers suppresses each of them, a partial
+// list leaves unlisted analyzers reporting, and spaces after commas are
+// tolerated.
+func TestAllowDirectiveList(t *testing.T) {
+	l := newTestLoader(t)
+	dir, err := filepath.Abs("testdata/allowlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(dir, "internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{fakeAnalyzer, fake2Analyzer})
+
+	byLine := make(map[int][]string)
+	for _, d := range diags {
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d.Analyzer)
+	}
+	sortEach := func(m map[int][]string) {
+		for _, v := range m {
+			sort.Strings(v)
+		}
+	}
+	sortEach(byLine)
+	want := map[int][]string{
+		12: {"fake", "fake2"}, // second statement: both still report
+		16: {"fake2"},         // partial list: fake suppressed, fake2 not
+	}
+	for line, analyzers := range want {
+		if got := byLine[line]; !slices.Equal(got, analyzers) {
+			t.Errorf("line %d: diagnostics %v, want %v", line, got, analyzers)
+		}
+		delete(byLine, line)
+	}
+	for line, got := range byLine {
+		t.Errorf("line %d: unexpected diagnostics %v (list suppression failed)", line, got)
+	}
+}
+
+// TestParseAllow pins the directive grammar corner cases directly.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string // nil means malformed
+	}{
+		{"//rldlint:allow fake -- reason", []string{"fake"}},
+		{"//rldlint:allow fake,fake2 -- reason", []string{"fake", "fake2"}},
+		{"//rldlint:allow fake, fake2 -- reason", []string{"fake", "fake2"}},
+		{"//rldlint:allow fake,,fake2 -- reason", []string{"fake", "fake2"}},
+		{"//rldlint:allow fake", nil},        // no reason
+		{"//rldlint:allow fake --   ", nil},  // blank reason
+		{"//rldlint:allow -- reason", nil},   // no analyzers
+		{"//rldlint:allow , -- reason", nil}, // empty list
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(c.text)
+		if (c.want == nil) == ok {
+			t.Errorf("parseAllow(%q): ok=%v, want malformed=%v", c.text, ok, c.want == nil)
+			continue
+		}
+		var got []string
+		for n := range names {
+			got = append(got, n)
+		}
+		sort.Strings(got)
+		if !slices.Equal(got, c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
 	}
 }

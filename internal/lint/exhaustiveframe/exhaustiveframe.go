@@ -1,0 +1,159 @@
+// Package exhaustiveframe pins switch exhaustiveness over the module's
+// enum-like types: any switch whose tag is a named in-module integer type
+// with an iota-style constant block (two or more package-level constants
+// of exactly that type forming a consecutive value run — frameType in
+// internal/netrt/wire.go is the motivating case) must either list a case
+// for every constant or carry an explicit, non-empty default that rejects
+// the unknown value. A frameXxx added for the next protocol version then
+// cannot silently fall through the worker.go/cluster.go dispatch switches:
+// the switch with no default fails here until the new case is written.
+package exhaustiveframe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rld/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "exhaustiveframe",
+	Doc:  "switches over in-module iota enums handle every constant or default-reject",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			enum := enumOf(pass, tv.Type)
+			if enum == nil {
+				return true
+			}
+			checkSwitch(pass, sw, enum)
+			return true
+		})
+	}
+}
+
+// enum is one in-module iota-style constant set.
+type enum struct {
+	named  *types.Named
+	consts []*types.Const // sorted by value
+}
+
+// enumOf decides whether t is an enum the analyzer covers: a named,
+// in-module, integer-underlying type with >= 2 package-level constants of
+// exactly that type whose values form one consecutive run (the iota-block
+// heuristic — go/types does not retain iota itself).
+func enumOf(pass *lint.Pass, t types.Type) *enum {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !sameModule(pass.Pkg, obj.Pkg()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 || basic.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		return constant.Compare(consts[i].Val(), token.LSS, consts[j].Val())
+	})
+	// Consecutive-run check over distinct values.
+	lo, ok1 := constant.Int64Val(consts[0].Val())
+	hi, ok2 := constant.Int64Val(consts[len(consts)-1].Val())
+	if !ok1 || !ok2 {
+		return nil
+	}
+	distinct := make(map[int64]bool)
+	for _, c := range consts {
+		v, _ := constant.Int64Val(c.Val())
+		distinct[v] = true
+	}
+	if int64(len(distinct)) != hi-lo+1 {
+		return nil
+	}
+	return &enum{named: named, consts: consts}
+}
+
+// checkSwitch verifies one switch against the enum: every constant value
+// has a case, or an explicit non-empty default exists.
+func checkSwitch(pass *lint.Pass, sw *ast.SwitchStmt, e *enum) {
+	covered := make(map[int64]bool)
+	var defaulted *ast.CaseClause
+	for _, c := range sw.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			defaulted = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				continue // non-constant case arms prove nothing
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				covered[v] = true
+			}
+		}
+	}
+	if defaulted != nil {
+		if len(defaulted.Body) == 0 {
+			pass.Reportf(defaulted.Pos(), "switch over %s has an empty default: unknown values fall through silently; reject them explicitly", e.named.Obj().Name())
+		}
+		return
+	}
+	var missing []string
+	seen := make(map[int64]bool)
+	for _, c := range e.consts {
+		v, _ := constant.Int64Val(c.Val())
+		if covered[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		missing = append(missing, c.Name())
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Switch, "switch over %s is missing cases for %s and has no rejecting default",
+			e.named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// sameModule reports whether the two packages share the module's leading
+// path segment — how a corpus package mounted under
+// rld/__lint_testdata__/... still counts as in-module.
+func sameModule(a, b *types.Package) bool {
+	seg := func(p string) string {
+		if i := strings.Index(p, "/"); i >= 0 {
+			return p[:i]
+		}
+		return p
+	}
+	return seg(a.Path()) == seg(b.Path())
+}

@@ -1,0 +1,16 @@
+package exhaustiveframe_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/exhaustiveframe"
+	"rld/internal/lint/linttest"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, exhaustiveframe.Analyzer, "testdata/bad", "internal/netrt")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, exhaustiveframe.Analyzer, "testdata/good", "internal/netrt")
+}

@@ -1,0 +1,70 @@
+// Package a is the exhaustiveframe known-bad corpus: switches over
+// iota-block enums that miss constants or swallow unknown values.
+package a
+
+type frameType byte
+
+const (
+	frameHello frameType = iota + 1
+	frameInsert
+	frameStage
+	frameQuit
+)
+
+// Shape 1: the missing-frame-case shape — frameQuit added to the enum but
+// not to the dispatch, and no default to catch it.
+func dispatchMissing(t frameType) string {
+	switch t { // want "missing cases for frameQuit"
+	case frameHello:
+		return "hello"
+	case frameInsert:
+		return "insert"
+	case frameStage:
+		return "stage"
+	}
+	return ""
+}
+
+// Shape 2: an empty default silently ignores unknown frames instead of
+// rejecting them.
+func dispatchEmptyDefault(t frameType) string {
+	switch t {
+	case frameHello:
+		return "hello"
+	case frameInsert:
+		return "insert"
+	default: // want "empty default"
+	}
+	return ""
+}
+
+// Shape 3: a non-constant case arm proves no coverage, and there is no
+// default to reject what slips past it.
+func dispatchDynamic(t, limit frameType) bool {
+	switch t { // want "missing cases for"
+	case frameHello:
+		return true
+	case limit:
+		return false
+	}
+	return false
+}
+
+// Shape 4: a second enum in the same package, one constant short.
+type mode int
+
+const (
+	modeA mode = iota
+	modeB
+	modeC
+)
+
+func pick(m mode) int {
+	switch m { // want "missing cases for modeC"
+	case modeA:
+		return 1
+	case modeB:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+// Package a is the exhaustiveframe known-good corpus: exhaustive
+// switches, rejecting defaults, and shapes outside the analyzer's scope.
+package a
+
+import "errors"
+
+type frameType byte
+
+const (
+	frameHello frameType = iota + 1
+	frameInsert
+	frameQuit
+)
+
+// Full coverage needs no default.
+func full(t frameType) string {
+	switch t {
+	case frameHello:
+		return "hello"
+	case frameInsert:
+		return "insert"
+	case frameQuit:
+		return "quit"
+	}
+	return ""
+}
+
+// An explicit rejecting default covers present and future frames.
+func rejecting(t frameType) error {
+	switch t {
+	case frameHello:
+		return nil
+	default:
+		return errors.New("unknown frame")
+	}
+}
+
+// Multiple constants per case arm still count.
+func grouped(t frameType) bool {
+	switch t {
+	case frameHello, frameInsert:
+		return true
+	case frameQuit:
+		return false
+	}
+	return false
+}
+
+// String and tagless switches are out of scope.
+func outOfScope(s string, n int) int {
+	switch s {
+	case "a":
+		return 1
+	}
+	switch {
+	case n > 0:
+		return 2
+	}
+	return 0
+}
+
+// A sparse constant set is flag-like, not an iota block: out of scope.
+type bits int
+
+const (
+	bit1 bits = 1
+	bit2 bits = 2
+	bit4 bits = 4
+)
+
+func sparse(b bits) bool {
+	switch b {
+	case bit1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,272 @@
+// Package guardedby pins mutex ownership of state: a struct field
+// annotated
+//
+//	down bool //rldlint:guardedby mu
+//
+// (or a package-level variable annotated the same way) may only be read or
+// written while the named mutex is held. As a bootstrap for the repo's
+// existing comment convention, a mutex field whose own comment contains
+// the word "guards" ("mu guards the failure state below") implicitly
+// guards every field that follows it in the struct. Holding is decided by
+// the lockflow statement-ordered walk — Lock/RLock and defer-Unlock forms
+// per path, plus one call-summary hop: a helper whose every in-package
+// call site holds the lock is analyzed with it held, and a helper only
+// ever called on freshly constructed (unpublished) values is exempt.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"rld/internal/lint"
+	"rld/internal/lint/lockflow"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated //rldlint:guardedby <mu> are only accessed with the mutex held",
+	Run:  run,
+}
+
+var annotationRE = regexp.MustCompile(`//rldlint:guardedby\s+([A-Za-z_][A-Za-z0-9_]*)\b`)
+var guardsWordRE = regexp.MustCompile(`\bguards\b`)
+
+// guard is the resolved protection of one field or variable.
+type guard struct {
+	// sibling is the guarding mutex's field name when the guarded object
+	// is a struct field (resolved against the same struct).
+	sibling string
+	// pkgVar is the guarding package-level mutex when the guarded object
+	// is a package-level variable.
+	pkgVar types.Object
+	// implicit marks a bootstrap ("guards ... below" comment) guard.
+	implicit bool
+}
+
+func run(pass *lint.Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	skip := compositeKeys(pass)
+	ana := lockflow.Analyze(pass)
+	exempt := make(map[*ast.FuncDecl]bool)
+	for _, sum := range ana.Summaries {
+		if sum.OnlyFreshCallers {
+			exempt[sum.Decl] = true
+		}
+	}
+	ana.Walk(func(fn *ast.FuncDecl, n ast.Node, held *lockflow.Set) {
+		if exempt[fn] || skip[n] {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return
+			}
+			g, guarded := guards[sel.Obj()]
+			if !guarded {
+				return
+			}
+			base, ok := lockflow.Resolve(pass.Info, n.X)
+			if !ok || ana.Fresh(fn, base.Root) {
+				return
+			}
+			req := requiredLock(g, base)
+			if !held.Holds(req) {
+				pass.Reportf(n.Sel.Pos(), "%s.%s is guarded by %s but accessed without holding it",
+					base, n.Sel.Name, req)
+			}
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil || obj.Pkg() != pass.Pkg || obj.Parent() != pass.Pkg.Scope() {
+				return
+			}
+			g, guarded := guards[obj]
+			if !guarded || g.pkgVar == nil {
+				return
+			}
+			req := lockflow.LockID{Root: g.pkgVar}
+			if !held.Holds(req) {
+				pass.Reportf(n.Pos(), "%s is guarded by %s but accessed without holding it",
+					n.Name, req)
+			}
+		}
+	})
+}
+
+// requiredLock builds the occurrence the access needs held: the sibling
+// mutex reached through the same base as the field, or the package-level
+// guard.
+func requiredLock(g guard, base lockflow.LockID) lockflow.LockID {
+	if g.pkgVar != nil {
+		return lockflow.LockID{Root: g.pkgVar}
+	}
+	path := g.sibling
+	if base.Path != "" {
+		path = base.Path + "." + g.sibling
+	}
+	return lockflow.LockID{Root: base.Root, Path: path}
+}
+
+// collectGuards resolves every annotation in the package: explicit
+// //rldlint:guardedby comments on struct fields and package-level
+// variables, plus the bootstrap "guards"-comment convention on mutex
+// fields. Annotations naming a guard that does not exist (or is not a
+// mutex) are themselves reported.
+func collectGuards(pass *lint.Pass) map[types.Object]guard {
+	guards := make(map[types.Object]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				collectStruct(pass, st, guards)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				// A single-spec var's doc comment parses onto the GenDecl.
+				name, found := annotation(gd.Doc, vs.Doc, vs.Comment)
+				if !found {
+					continue
+				}
+				mu, isVar := pass.Pkg.Scope().Lookup(name).(*types.Var)
+				if !isVar || !isMutexType(mu.Type()) {
+					pass.Reportf(vs.Pos(), "//rldlint:guardedby %s: no package-level mutex of that name", name)
+					continue
+				}
+				for _, id := range vs.Names {
+					if obj := pass.Info.Defs[id]; obj != nil && obj != mu {
+						guards[obj] = guard{pkgVar: mu}
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// collectStruct applies explicit annotations and the bootstrap convention
+// to one struct type's fields.
+func collectStruct(pass *lint.Pass, st *ast.StructType, guards map[types.Object]guard) {
+	mutexFields := make(map[string]bool)
+	for _, fld := range st.Fields.List {
+		if t, ok := pass.Info.Types[fld.Type]; ok && isMutexType(t.Type) {
+			for _, id := range fld.Names {
+				mutexFields[id.Name] = true
+			}
+		}
+	}
+	// currentGuard is the bootstrap state: the mutex field whose comment
+	// says "guards", covering every following field.
+	currentGuard := ""
+	for _, fld := range st.Fields.List {
+		t, typed := pass.Info.Types[fld.Type]
+		isMutexFld := typed && isMutexType(t.Type)
+		if isMutexFld {
+			if guardsWordRE.MatchString(commentText(fld.Doc, fld.Comment)) && len(fld.Names) == 1 {
+				currentGuard = fld.Names[0].Name
+			} else {
+				currentGuard = ""
+			}
+			continue
+		}
+		if name, found := annotation(fld.Doc, fld.Comment); found {
+			if !mutexFields[name] {
+				pass.Reportf(fld.Pos(), "//rldlint:guardedby %s: struct has no mutex field of that name", name)
+				continue
+			}
+			for _, id := range fld.Names {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					guards[obj] = guard{sibling: name}
+				}
+			}
+			continue
+		}
+		if currentGuard == "" || !typed || isSyncType(t.Type) {
+			continue
+		}
+		for _, id := range fld.Names {
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if _, explicit := guards[obj]; !explicit {
+				guards[obj] = guard{sibling: currentGuard, implicit: true}
+			}
+		}
+	}
+}
+
+// annotation extracts the guard name from a field or spec comment pair.
+func annotation(groups ...*ast.CommentGroup) (string, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := annotationRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1], true
+			}
+		}
+	}
+	return "", false
+}
+
+func commentText(groups ...*ast.CommentGroup) string {
+	out := ""
+	for _, cg := range groups {
+		if cg != nil {
+			out += cg.Text()
+		}
+	}
+	return out
+}
+
+// compositeKeys collects the field-name keys of composite literals —
+// initialization syntax, not accesses.
+func compositeKeys(pass *lint.Pass) map[ast.Node]bool {
+	skip := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					skip[kv.Key] = true
+				}
+			}
+			return true
+		})
+	}
+	return skip
+}
+
+func isMutexType(t types.Type) bool { return lockflow.IsMutex(t) }
+
+// isSyncType reports a type from sync or sync/atomic (self-synchronized,
+// so the bootstrap convention never claims it).
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}

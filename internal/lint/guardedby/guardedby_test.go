@@ -1,0 +1,16 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/guardedby"
+	"rld/internal/lint/linttest"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, guardedby.Analyzer, "testdata/bad", "internal/engine")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, guardedby.Analyzer, "testdata/good", "internal/engine")
+}

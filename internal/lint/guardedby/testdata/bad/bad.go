@@ -1,0 +1,101 @@
+// Package a is the guardedby known-bad corpus: annotated fields accessed
+// without their mutex held, across the violation shapes the analyzer must
+// catch.
+package a
+
+import "sync"
+
+type node struct {
+	mu   sync.Mutex
+	down bool //rldlint:guardedby mu
+	mode int  //rldlint:guardedby mu
+}
+
+// Shape 1: plain read without the lock.
+func (n *node) isDown() bool {
+	return n.down // want "guarded by"
+}
+
+// Shape 2: the PR 9 accept-loop race shape — a long-lived loop goroutine
+// mutating guarded registration state without taking the lock.
+type server struct {
+	mu    sync.Mutex
+	conns map[int]bool //rldlint:guardedby mu
+	next  int          //rldlint:guardedby mu
+}
+
+func (s *server) acceptLoop(stop chan struct{}, accepted chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case id := <-accepted:
+			s.conns[id] = true // want "guarded by"
+			s.next = id + 1    // want "guarded by"
+		}
+	}
+}
+
+// Shape 3: lock released too early — the access lands after Unlock.
+func (n *node) toggle() {
+	n.mu.Lock()
+	n.down = !n.down
+	n.mu.Unlock()
+	n.mode++ // want "guarded by"
+}
+
+// Shape 4: only one branch locks, so the merge point holds nothing.
+func (n *node) maybe(lock bool) int {
+	if lock {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+	}
+	return n.mode // want "guarded by"
+}
+
+// Shape 5: the bootstrap convention — a mutex whose comment says "guards"
+// protects the fields below it without explicit annotations.
+type ring struct {
+	mu   sync.Mutex // guards the ring state below
+	head int
+	tail int
+}
+
+func (r *ring) size() int {
+	return r.tail - r.head // want "guarded by" "guarded by"
+}
+
+// Shape 6: a helper whose in-package call sites disagree — one holds the
+// lock, one does not — cannot assume the lock on entry.
+func (n *node) flush() {
+	n.mode = 0 // want "guarded by"
+}
+
+func (n *node) flushHolding() {
+	n.mu.Lock()
+	n.flush()
+	n.mu.Unlock()
+}
+
+func (n *node) flushBare() {
+	n.flush()
+}
+
+// Shape 7: a package-level registry guarded by a package-level mutex.
+var regMu sync.Mutex
+
+//rldlint:guardedby regMu
+var registry = map[string]int{}
+
+func register(k string) {
+	registry[k] = 1 // want "guarded by"
+}
+
+// Shape 8: an annotation naming a guard that does not exist is itself a
+// finding.
+type typo struct {
+	mu sync.Mutex
+	n  int //rldlint:guardedby mutex // want "no mutex field"
+}
+
+func (t *typo) use() int { return t.n }

@@ -1,0 +1,120 @@
+// Package a is the guardedby known-good corpus: every access pattern the
+// analyzer must accept — direct holds, deferred unlocks, read locks, the
+// one-hop locked-helper inference, declared contracts, and fresh
+// (unpublished) values.
+package a
+
+import "sync"
+
+type node struct {
+	mu   sync.Mutex
+	down bool //rldlint:guardedby mu
+	mode int  //rldlint:guardedby mu
+}
+
+// Lock held across the access.
+func (n *node) set() {
+	n.mu.Lock()
+	n.down = true
+	n.mu.Unlock()
+}
+
+// A deferred unlock holds to function end.
+func (n *node) get() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// RLock counts as holding.
+type stats struct {
+	mu sync.RWMutex
+	n  int //rldlint:guardedby mu
+}
+
+func (s *stats) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// A constructor touches fields of the value it just built: fresh locals
+// are unpublished, so no lock is required yet.
+func newNode() *node {
+	n := &node{}
+	n.mode = 1
+	n.down = false
+	return n
+}
+
+// One-hop inference: every in-package call site holds the lock, so the
+// helper body is analyzed with it held — no annotation needed.
+func (n *node) apply() {
+	n.mode++
+	n.down = false
+}
+
+func (n *node) applyEager() {
+	n.mu.Lock()
+	n.apply()
+	n.mu.Unlock()
+}
+
+func (n *node) applyDeferred() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.apply()
+}
+
+// The *Locked suffix declares the contract even with no call site.
+func (n *node) resetLocked() {
+	n.mode = 0
+	n.down = false
+}
+
+// So does a "Caller holds n.mu" doc line.
+// bump advances the mode counter. Caller holds n.mu.
+func (n *node) bump() {
+	n.mode++
+}
+
+// Both branches lock, so the merge point still holds.
+func (n *node) branchy(b bool) int {
+	if b {
+		n.mu.Lock()
+	} else {
+		n.mu.Lock()
+	}
+	v := n.mode
+	n.mu.Unlock()
+	return v
+}
+
+// A helper only ever called on fresh values is exempt: it runs before the
+// value is published.
+func seed(n *node) {
+	n.mode = 7
+}
+
+func build() *node {
+	n := &node{}
+	seed(n)
+	return n
+}
+
+// Composite-literal keys are initialization, not access.
+func literal() node {
+	return node{down: true, mode: 2}
+}
+
+// Package-level state accessed with its package-level guard held.
+var regMu sync.Mutex
+
+//rldlint:guardedby regMu
+var registry = map[string]int{}
+
+func register(k string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[k] = 1
+}

@@ -34,7 +34,10 @@ type Diagnostic struct {
 }
 
 // Analyzer is one invariant checker. Run inspects a single type-checked
-// package and reports findings through the pass.
+// package and reports findings through the pass; RunModule, when set, runs
+// once per driver invocation with every loaded package's pass, for
+// analyzers whose invariant spans packages (lockorder's module-wide
+// acquisition graph). An analyzer may set either or both.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, -only filters, and
 	// allow directives.
@@ -43,6 +46,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one package.
 	Run func(*Pass)
+	// RunModule executes the analyzer once over all loaded packages.
+	RunModule func([]*Pass)
 }
 
 // Pass carries one package through one analyzer.
@@ -93,8 +98,11 @@ func (p *Pass) DeclOf(obj types.Object) *ast.FuncDecl {
 // analyzer name "rldlint". Diagnostics are sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	allDirs := make([]directiveSet, 0, len(pkgs))
+	modulePasses := make(map[*Analyzer][]*Pass)
 	for _, pkg := range pkgs {
 		dirs, dirDiags := collectDirectives(pkg)
+		allDirs = append(allDirs, dirs)
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -106,7 +114,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				analyzer: a,
 				diags:    &raw,
 			}
-			a.Run(pass)
+			if a.Run != nil {
+				a.Run(pass)
+			}
+			if a.RunModule != nil {
+				modulePasses[a] = append(modulePasses[a], pass)
+			}
 		}
 		for _, d := range raw {
 			if !dirs.suppresses(d) {
@@ -114,6 +127,33 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		out = append(out, dirDiags...)
+	}
+	// Module-level passes run once over everything loaded; their
+	// diagnostics carry positions inside some package, so each is checked
+	// against every package's directives (only the owning package's can
+	// match, by filename).
+	for _, a := range analyzers {
+		passes := modulePasses[a]
+		if len(passes) == 0 {
+			continue
+		}
+		var raw []Diagnostic
+		for _, p := range passes {
+			p.diags = &raw
+		}
+		a.RunModule(passes)
+		for _, d := range raw {
+			suppressed := false
+			for _, dirs := range allDirs {
+				if dirs.suppresses(d) {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				out = append(out, d)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

@@ -68,3 +68,37 @@ func TestModPathResolution(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFindModuleRootNotFound pins the miss behavior: a directory with no
+// go.mod anywhere above it errors instead of walking forever or returning
+// a bogus root.
+func TestFindModuleRootNotFound(t *testing.T) {
+	dir := t.TempDir()
+	root, err := FindModuleRoot(dir)
+	if err == nil {
+		t.Fatalf("FindModuleRoot(%s) = %q, want error", dir, root)
+	}
+	if !strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("error does not name the missing go.mod: %v", err)
+	}
+}
+
+// TestLoadMissingPackage pins the other loader failure path: asking for a
+// directory with no Go files is an error, not a panic or an empty package.
+func TestLoadMissingPackage(t *testing.T) {
+	l := newTestLoader(t)
+	if p, err := l.Load("internal/does-not-exist"); err == nil {
+		t.Fatalf("missing package loaded: %+v", p)
+	}
+	if p, err := l.LoadDirAs(filepath.Join(t.TempDir(), "empty"), "internal/engine"); err == nil {
+		t.Fatalf("nonexistent dir loaded: %+v", p)
+	}
+}
+
+// TestNewLoaderBadRoot pins NewLoader's contract: a root without go.mod
+// is an error up front, not a delayed failure on first Load.
+func TestNewLoaderBadRoot(t *testing.T) {
+	if l, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatalf("loader built for root without go.mod: %+v", l)
+	}
+}

@@ -1,0 +1,276 @@
+// Package lockflow is the shared lock-set dataflow layer under the
+// concurrency analyzers (guardedby, lockorder). It builds, per package, an
+// intraprocedural CFG-lite — a statement-ordered walk over go/ast + go/types
+// that forks at branches and merges by intersection — and threads a lock-set
+// abstraction through it: mu.Lock()/Unlock()/RLock()/RUnlock() calls and
+// their defer forms, tracked per path. On top of the walk it computes an
+// in-module call summary for every function: which locks it acquires
+// anywhere in its body, and which locks it requires on entry (declared via
+// the "Caller holds <mu>" doc convention or the *Locked name suffix, and
+// inferred as the intersection of the lock sets held at its in-package call
+// sites — the "one call-summary hop" the analyzers lean on).
+//
+// Two lock identities coexist. The occurrence identity (LockID) is the root
+// object of the selector chain a mutex is reached through plus the
+// dot-joined field path — precise enough for guardedby to tie an access of
+// ns.down to a hold of ns.mu. The type-level key (Acq.Key) is the
+// pkg.Struct.field path that names a lock class module-wide — the vertices
+// of lockorder's acquisition graph.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockID identifies one mutex occurrence: the root object of the selector
+// chain it is reached through (a local variable, parameter, receiver, or
+// package-level variable) plus the dot-joined field path below it. The
+// zero Path means the root object is the mutex itself (a package-level or
+// local mutex variable).
+type LockID struct {
+	Root types.Object
+	Path string
+}
+
+// String renders the occurrence as the source would spell it.
+func (l LockID) String() string {
+	if l.Root == nil {
+		return "<unresolved>." + l.Path
+	}
+	if l.Path == "" {
+		return l.Root.Name()
+	}
+	return l.Root.Name() + "." + l.Path
+}
+
+// Valid reports whether the occurrence resolved to a root object.
+func (l LockID) Valid() bool { return l.Root != nil }
+
+// Acq is one lock acquisition: the occurrence, its module-wide type-level
+// key, the source position, and whether it was a read (RLock) acquisition.
+type Acq struct {
+	Lock LockID
+	// Key is the type-level identity: "pkg.Struct.field" for a mutex
+	// struct field, "pkg.var" for a package-level mutex variable.
+	Key  string
+	Pos  token.Pos
+	Read bool
+	// deferRelease marks the acquisition as released only by a deferred
+	// unlock, so it stays held through the rest of the function.
+	deferRelease bool
+}
+
+// Set is a lock set: the acquisitions held on the current path.
+type Set struct {
+	m map[LockID]*Acq
+}
+
+// NewSet returns an empty lock set.
+func NewSet() *Set { return &Set{m: make(map[LockID]*Acq)} }
+
+// Holds reports whether the occurrence is in the set.
+func (s *Set) Holds(l LockID) bool {
+	_, ok := s.m[l]
+	return ok
+}
+
+// Acqs returns the held acquisitions ordered by occurrence string — a
+// stable order for diagnostics.
+func (s *Set) Acqs() []*Acq {
+	out := make([]*Acq, 0, len(s.m))
+	for _, a := range s.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lock.String() != out[j].Lock.String() {
+			return out[i].Lock.String() < out[j].Lock.String()
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// Len returns the number of held locks.
+func (s *Set) Len() int { return len(s.m) }
+
+func (s *Set) add(a *Acq) { s.m[a.Lock] = a }
+
+func (s *Set) remove(l LockID) { delete(s.m, l) }
+
+func (s *Set) clone() *Set {
+	c := NewSet()
+	for k, v := range s.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// intersect keeps only occurrences present in both sets.
+func (s *Set) intersect(o *Set) {
+	for k := range s.m {
+		if _, ok := o.m[k]; !ok {
+			delete(s.m, k)
+		}
+	}
+}
+
+// mutexMethods are the sync.Mutex / sync.RWMutex methods the walk models.
+// TryLock/TryRLock acquire conditionally and are deliberately not modeled:
+// the walk cannot see the branch on their result, so treating them as
+// unconditional acquisitions would poison every path below.
+var mutexMethods = map[string]struct{ acquire, read bool }{
+	"Lock":    {true, false},
+	"RLock":   {true, true},
+	"Unlock":  {false, false},
+	"RUnlock": {false, true},
+}
+
+// lockCall decomposes call into a modeled mutex method call: the receiver
+// expression (the mutex itself), the method name, acquire-vs-release, and
+// read-vs-write. ok is false for anything else.
+func lockCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, acquire, read, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false, false
+	}
+	m, isLockName := mutexMethods[sel.Sel.Name]
+	if !isLockName || !isMutex(typeOf(info, sel.X)) {
+		return nil, false, false, false
+	}
+	return sel.X, m.acquire, m.read, true
+}
+
+// IsMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func IsMutex(t types.Type) bool { return isMutex(t) }
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly behind
+// a pointer).
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// Resolve maps an expression to its occurrence identity: the root object
+// of the selector chain plus the dot-joined field path. Parentheses and
+// pointer dereferences are transparent. Expressions whose base is not a
+// plain identifier chain (an index expression, a call result, ...) do not
+// resolve; callers treat those conservatively.
+func Resolve(info *types.Info, e ast.Expr) (LockID, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return Resolve(info, e.X)
+	case *ast.StarExpr:
+		return Resolve(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return Resolve(info, e.X)
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, isVar := obj.(*types.Var); isVar {
+			return LockID{Root: v}, true
+		}
+	case *ast.SelectorExpr:
+		// pkg.Var: the qualifier is a package name, the selection the
+		// package-level variable itself.
+		if id, isIdent := e.X.(*ast.Ident); isIdent {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, isVar := info.Uses[e.Sel].(*types.Var); isVar {
+					return LockID{Root: v}, true
+				}
+				return LockID{}, false
+			}
+		}
+		base, ok := Resolve(info, e.X)
+		if !ok {
+			return LockID{}, false
+		}
+		if base.Path == "" {
+			return LockID{Root: base.Root, Path: e.Sel.Name}, true
+		}
+		return LockID{Root: base.Root, Path: base.Path + "." + e.Sel.Name}, true
+	}
+	return LockID{}, false
+}
+
+// KeyOf names a lock occurrence module-wide: "pkg.Struct.field" when the
+// last path segment is a field of a named struct (the struct the selector
+// chain reaches it through, so promoted fields key on the outer type —
+// consistently with how every other occurrence spells them), "pkg.var" for
+// a package-level or local mutex variable.
+func KeyOf(l LockID) string {
+	if !l.Valid() {
+		return ""
+	}
+	if l.Path == "" {
+		return pkgName(l.Root.Pkg()) + "." + l.Root.Name()
+	}
+	t := l.Root.Type()
+	segs := strings.Split(l.Path, ".")
+	for i, seg := range segs {
+		named := namedOf(t)
+		if i == len(segs)-1 {
+			if named != nil {
+				return pkgName(named.Obj().Pkg()) + "." + named.Obj().Name() + "." + seg
+			}
+			return pkgName(l.Root.Pkg()) + ".?." + seg
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, l.Root.Pkg(), seg)
+		if obj == nil {
+			return ""
+		}
+		t = obj.Type()
+	}
+	return ""
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+func pkgName(p *types.Package) string {
+	if p == nil {
+		return "?"
+	}
+	return p.Name()
+}

@@ -1,0 +1,138 @@
+package lockflow_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+
+	"rld/internal/lint"
+	"rld/internal/lint/lockflow"
+)
+
+// analyzeCorpus loads the flow corpus and runs the shared lockflow layer
+// over it, capturing the Analysis through a probe analyzer so the test
+// exercises the same Pass plumbing real analyzers see.
+func analyzeCorpus(t *testing.T) *lockflow.Analysis {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs("testdata/flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(dir, "internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ana *lockflow.Analysis
+	probe := &lint.Analyzer{
+		Name: "probe",
+		Doc:  "captures the lockflow analysis (tests only)",
+		Run:  func(pass *lint.Pass) { ana = lockflow.Analyze(pass) },
+	}
+	if diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{probe}); len(diags) != 0 {
+		t.Fatalf("probe produced diagnostics: %v", diags)
+	}
+	if ana == nil {
+		t.Fatal("probe never ran")
+	}
+	return ana
+}
+
+func summaryByName(t *testing.T, ana *lockflow.Analysis, name string) *lockflow.Summary {
+	t.Helper()
+	for _, sum := range ana.Summaries {
+		if sum.Decl.Name.Name == name {
+			return sum
+		}
+	}
+	t.Fatalf("no summary for %s", name)
+	return nil
+}
+
+// TestCallSummaryInference pins the one-hop closure: a helper whose every
+// call site holds the receiver's mutex inherits it as a required entry
+// lock, both from direct Lock/Unlock pairs and from defer Unlock.
+func TestCallSummaryInference(t *testing.T) {
+	ana := analyzeCorpus(t)
+	sum := summaryByName(t, ana, "touch")
+	if len(sum.Requires) != 1 || sum.Requires[0].Path != "mu" {
+		t.Fatalf("touch.Requires = %v, want the receiver's mu", sum.Requires)
+	}
+	if sum.OnlyFreshCallers {
+		t.Fatal("touch marked fresh-only despite published call sites")
+	}
+}
+
+// TestDeclaredRequires pins the "Caller holds <mu>" doc convention.
+func TestDeclaredRequires(t *testing.T) {
+	ana := analyzeCorpus(t)
+	sum := summaryByName(t, ana, "declared")
+	if len(sum.Requires) != 1 || sum.Requires[0].Path != "mu" {
+		t.Fatalf("declared.Requires = %v, want the receiver's mu", sum.Requires)
+	}
+}
+
+// TestAcquisitionEdges pins the lock graph: ordered() contributes exactly
+// the mu -> inner edge, keyed by struct-field path.
+func TestAcquisitionEdges(t *testing.T) {
+	ana := analyzeCorpus(t)
+	var got []string
+	for _, e := range ana.Edges {
+		got = append(got, e.From+" -> "+e.To)
+	}
+	want := "a.box.mu -> a.box.inner"
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("edges = %v, want exactly [%s]", got, want)
+	}
+}
+
+// TestFreshReceivers pins the unpublished-value exemption: seed is only
+// ever called on newBox's freshly constructed receiver, and the local
+// itself is tracked as fresh inside newBox.
+func TestFreshReceivers(t *testing.T) {
+	ana := analyzeCorpus(t)
+	if sum := summaryByName(t, ana, "seed"); !sum.OnlyFreshCallers {
+		t.Fatal("seed not marked fresh-only")
+	}
+	ctor := summaryByName(t, ana, "newBox")
+	found := false
+	ast.Inspect(ctor.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "b" && !found {
+			if obj := ana.Pass.Info.Defs[id]; obj != nil {
+				found = ana.Fresh(ctor.Decl, obj)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("newBox's composite-literal local not tracked as fresh")
+	}
+}
+
+// TestWalkHeldSets pins the replay API: inside touch the inferred entry
+// lock is reported as held at the field access.
+func TestWalkHeldSets(t *testing.T) {
+	ana := analyzeCorpus(t)
+	seen := false
+	ana.Walk(func(fn *ast.FuncDecl, n ast.Node, held *lockflow.Set) {
+		if fn.Name.Name != "touch" {
+			return
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "n" {
+			seen = true
+			if held.Len() != 1 {
+				t.Errorf("held set at touch's b.n access has %d locks, want 1", held.Len())
+			}
+		}
+	})
+	if !seen {
+		t.Fatal("walk never reached touch's b.n access")
+	}
+}

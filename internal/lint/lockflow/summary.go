@@ -1,0 +1,522 @@
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"rld/internal/lint"
+)
+
+// Summary is the in-module call summary of one declared function: the
+// locks it requires on entry and the locks it acquires anywhere in its
+// body.
+type Summary struct {
+	Decl *ast.FuncDecl
+	Obj  types.Object
+	// Requires is the entry lock set in the function's own frame
+	// (receiver/parameter-relative), the union of the declared contract
+	// ("Caller holds <mu>" doc line, or the *Locked name suffix when the
+	// receiver has exactly one mutex field) and the inferred one (the
+	// intersection of the lock sets held at every in-package call site).
+	Requires []LockID
+	// Acquires maps the type-level key of every lock the body acquires to
+	// one witness position.
+	Acquires map[string]token.Pos
+	// OnlyFreshCallers is true when the function has in-package call
+	// sites and every one of them is on a freshly constructed,
+	// not-yet-published receiver (constructor helpers): lock discipline
+	// does not apply inside it yet.
+	OnlyFreshCallers bool
+}
+
+// Edge is one lock-order fact: To was acquired (directly, or by a callee
+// one summary hop away) while From was held. Self edges (From == To) are
+// emitted only for a re-acquisition of the very same lock occurrence.
+type Edge struct {
+	From, To         string
+	FromLock, ToLock LockID
+	Pos              token.Pos
+}
+
+// Analysis is the lock-flow result for one package.
+type Analysis struct {
+	Pass      *lint.Pass
+	Summaries map[types.Object]*Summary
+	// Edges are the package's lock-order edges, deduplicated by
+	// (From, To) with the first witness position kept, in walk order.
+	Edges []Edge
+
+	freshByFunc map[*ast.FuncDecl]map[types.Object]bool
+}
+
+// callSite is one in-package call with the caller's held locks already
+// mapped into the callee's frame.
+type callSite struct {
+	mapped []LockID
+	fresh  bool
+}
+
+// Analyze runs the lock-set dataflow over every function in the package:
+// pass one walks each body with only its declared entry locks to collect
+// acquisition summaries and per-call-site lock sets, then entry sets are
+// closed over one call-summary hop, and pass two re-walks with the final
+// entries to emit lock-order edges.
+func Analyze(pass *lint.Pass) *Analysis {
+	a := &Analysis{
+		Pass:        pass,
+		Summaries:   make(map[types.Object]*Summary),
+		freshByFunc: make(map[*ast.FuncDecl]map[types.Object]bool),
+	}
+	decls := a.collectDecls()
+
+	// Pass one: summaries and call sites under declared entries only.
+	sites := make(map[types.Object][]callSite)
+	for _, fd := range decls {
+		obj := pass.Info.Defs[fd.Name]
+		sum := a.Summaries[obj]
+		w := &walker{info: pass.Info}
+		w.onAcquire = func(acq *Acq, held *Set) {
+			if _, seen := sum.Acquires[acq.Key]; !seen && acq.Key != "" {
+				sum.Acquires[acq.Key] = acq.Pos
+			}
+		}
+		fresh := a.freshByFunc[fd]
+		w.onCall = func(call *ast.CallExpr, held *Set) {
+			callee, calleeDecl := a.callee(call)
+			if calleeDecl == nil {
+				return
+			}
+			mapped, freshRecv := mapCallSite(pass.Info, call, calleeDecl, held, fresh)
+			sites[callee] = append(sites[callee], callSite{mapped: mapped, fresh: freshRecv})
+		}
+		w.walkFunc(fd.Body, a.entrySet(sum.Requires))
+	}
+
+	// Close entry sets over one hop: declared ∪ call-site intersection.
+	for obj, sum := range a.Summaries {
+		ss := sites[obj]
+		if len(ss) == 0 {
+			continue
+		}
+		live := ss[:0:0]
+		for _, s := range ss {
+			if !s.fresh {
+				live = append(live, s)
+			}
+		}
+		if len(live) == 0 {
+			sum.OnlyFreshCallers = true
+			continue
+		}
+		inferred := intersectIDs(live)
+		for _, l := range inferred {
+			if !containsID(sum.Requires, l) {
+				sum.Requires = append(sum.Requires, l)
+			}
+		}
+	}
+
+	// Pass two: edges under the closed entry sets.
+	for _, fd := range decls {
+		sum := a.Summaries[pass.Info.Defs[fd.Name]]
+		w := &walker{info: pass.Info}
+		w.onAcquire = func(acq *Acq, held *Set) {
+			for _, h := range held.Acqs() {
+				a.addEdge(h, acq.Key, acq.Lock, acq.Pos)
+			}
+		}
+		w.onCall = func(call *ast.CallExpr, held *Set) {
+			if held.Len() == 0 {
+				return
+			}
+			callee, calleeDecl := a.callee(call)
+			if calleeDecl == nil {
+				return
+			}
+			calleeSum := a.Summaries[callee]
+			keys := make([]string, 0, len(calleeSum.Acquires))
+			for k := range calleeSum.Acquires {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, h := range held.Acqs() {
+				for _, k := range keys {
+					a.addEdge(h, k, LockID{}, call.Pos())
+				}
+			}
+		}
+		w.walkFunc(fd.Body, a.entrySet(sum.Requires))
+	}
+	return a
+}
+
+// Walk replays the statement-ordered walk of every function with its final
+// entry lock set, invoking visit on each expression node with the set held
+// there. Function literals are visited with empty entries, attributed to
+// their enclosing declaration.
+func (a *Analysis) Walk(visit func(fn *ast.FuncDecl, n ast.Node, held *Set)) {
+	for _, fd := range a.collectDecls() {
+		fd := fd
+		sum := a.Summaries[a.Pass.Info.Defs[fd.Name]]
+		w := &walker{info: a.Pass.Info}
+		w.onNode = func(n ast.Node, held *Set) { visit(fd, n, held) }
+		w.walkFunc(fd.Body, a.entrySet(sum.Requires))
+	}
+}
+
+// Fresh reports whether obj is a freshly constructed local of fn — a
+// variable only ever assigned from composite literals or new(), so not yet
+// published to any other goroutine.
+func (a *Analysis) Fresh(fn *ast.FuncDecl, obj types.Object) bool {
+	return fn != nil && a.freshByFunc[fn][obj]
+}
+
+// collectDecls gathers the package's function declarations with bodies (in
+// file order) and seeds summaries, declared requires, and fresh-local maps
+// on first use. Package-level function-literal initializers are not
+// summarized; the analyzers see them through Walk's pending queue only if
+// reached from a declaration.
+func (a *Analysis) collectDecls() []*ast.FuncDecl {
+	var decls []*ast.FuncDecl
+	for _, f := range a.Pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			obj := a.Pass.Info.Defs[fd.Name]
+			if _, seeded := a.Summaries[obj]; !seeded {
+				a.Summaries[obj] = &Summary{
+					Decl:     fd,
+					Obj:      obj,
+					Requires: a.declaredRequires(fd),
+					Acquires: make(map[string]token.Pos),
+				}
+				a.freshByFunc[fd] = freshLocals(a.Pass.Info, fd)
+			}
+		}
+	}
+	return decls
+}
+
+func (a *Analysis) entrySet(requires []LockID) *Set {
+	s := NewSet()
+	for _, l := range requires {
+		// Entry locks are pinned held-to-end: the caller owns their
+		// release, so an explicit unlock inside the body (a helper that
+		// drops and retakes its caller's lock) still re-adds on Lock.
+		s.add(&Acq{Lock: l, Key: KeyOf(l), Pos: token.NoPos})
+	}
+	return s
+}
+
+// callee resolves a call to an in-package declared function.
+func (a *Analysis) callee(call *ast.CallExpr) (types.Object, *ast.FuncDecl) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = a.Pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = a.Pass.Info.Uses[fun.Sel]
+	}
+	if sum, ok := a.Summaries[obj]; ok {
+		return obj, sum.Decl
+	}
+	return nil, nil
+}
+
+func (a *Analysis) addEdge(from *Acq, toKey string, toLock LockID, pos token.Pos) {
+	if from.Key == "" || toKey == "" {
+		return
+	}
+	if from.Key == toKey {
+		// Same lock class: only a re-acquisition of the same occurrence
+		// is an edge (a self-deadlock); sibling instances (two nodes'
+		// shard locks) are not an ordering fact the graph can use.
+		if !toLock.Valid() || toLock != from.Lock {
+			return
+		}
+	}
+	for _, e := range a.Edges {
+		if e.From == from.Key && e.To == toKey {
+			return
+		}
+	}
+	a.Edges = append(a.Edges, Edge{
+		From: from.Key, To: toKey,
+		FromLock: from.Lock, ToLock: toLock,
+		Pos: pos,
+	})
+}
+
+var callerHoldsRE = regexp.MustCompile(`[Cc]aller (?:must hold |holds )(?:the )?([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+
+// declaredRequires reads the function's entry-lock contract: every
+// "Caller holds <mu>" doc-comment line, plus — when the name carries the
+// *Locked suffix and the receiver type has exactly one mutex field — that
+// field.
+func (a *Analysis) declaredRequires(fd *ast.FuncDecl) []LockID {
+	var out []LockID
+	recv := recvObj(a.Pass.Info, fd)
+	if fd.Doc != nil {
+		for _, m := range callerHoldsRE.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			if l, ok := a.resolveRequire(recv, m[1]); ok && !containsID(out, l) {
+				out = append(out, l)
+			}
+		}
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") && recv != nil {
+		if name, ok := soleMutexField(recv.Type()); ok {
+			l := LockID{Root: recv, Path: name}
+			if !containsID(out, l) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// resolveRequire maps a declared lock name to an occurrence: "recv.path"
+// or a bare receiver field resolves against the receiver; otherwise a
+// package-level mutex variable of that name.
+func (a *Analysis) resolveRequire(recv types.Object, name string) (LockID, bool) {
+	if recv != nil {
+		if rest, ok := strings.CutPrefix(name, recv.Name()+"."); ok {
+			return LockID{Root: recv, Path: rest}, true
+		}
+		if !strings.Contains(name, ".") {
+			if obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, recv.Pkg(), name); obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && isMutex(v.Type()) {
+					return LockID{Root: recv, Path: name}, true
+				}
+			}
+		}
+	}
+	if !strings.Contains(name, ".") {
+		if v, isVar := a.Pass.Pkg.Scope().Lookup(name).(*types.Var); isVar && isMutex(v.Type()) {
+			return LockID{Root: v}, true
+		}
+	}
+	return LockID{}, false
+}
+
+// recvObj returns the declared receiver object, or nil.
+func recvObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// soleMutexField returns the name of t's only mutex field, if exactly one.
+func soleMutexField(t types.Type) (string, bool) {
+	st, ok := namedUnderlyingStruct(t)
+	if !ok {
+		return "", false
+	}
+	name := ""
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutex(f.Type()) {
+			if name != "" {
+				return "", false
+			}
+			name = f.Name()
+		}
+	}
+	return name, name != ""
+}
+
+func namedUnderlyingStruct(t types.Type) (*types.Struct, bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// mapCallSite translates the caller's held locks into the callee's frame:
+// locks rooted at the method receiver's base map onto the callee's
+// receiver object, locks rooted at a plain-identifier argument map onto
+// the matching parameter, and package-level locks pass through unchanged.
+// freshRecv reports a receiver (or struct-typed argument) that is a fresh,
+// unpublished local of the caller.
+func mapCallSite(info *types.Info, call *ast.CallExpr, callee *ast.FuncDecl, held *Set, freshInCaller map[types.Object]bool) (mapped []LockID, freshRecv bool) {
+	add := func(l LockID) {
+		if !containsID(mapped, l) {
+			mapped = append(mapped, l)
+		}
+	}
+	for _, h := range held.Acqs() {
+		if isPackageLevel(h.Lock.Root) {
+			add(h.Lock)
+		}
+	}
+	if sel, isMethod := call.Fun.(*ast.SelectorExpr); isMethod {
+		if base, ok := Resolve(info, sel.X); ok {
+			if freshInCaller[base.Root] && base.Path == "" {
+				freshRecv = true
+			}
+			if recv := recvObj(info, callee); recv != nil {
+				for _, h := range held.Acqs() {
+					if rest, matches := relativePath(h.Lock, base); matches {
+						add(LockID{Root: recv, Path: rest})
+					}
+				}
+			}
+		}
+	}
+	params := paramObjs(info, callee)
+	for i, arg := range call.Args {
+		if i >= len(params) || params[i] == nil {
+			continue
+		}
+		base, ok := Resolve(info, arg)
+		if !ok || base.Path != "" {
+			continue
+		}
+		if freshInCaller[base.Root] {
+			freshRecv = true
+		}
+		for _, h := range held.Acqs() {
+			if rest, matches := relativePath(h.Lock, base); matches {
+				add(LockID{Root: params[i], Path: rest})
+			}
+		}
+	}
+	return mapped, freshRecv
+}
+
+// relativePath expresses lock relative to base: both share a root and the
+// lock's path extends the base's.
+func relativePath(lock, base LockID) (string, bool) {
+	if lock.Root != base.Root {
+		return "", false
+	}
+	if base.Path == "" {
+		if lock.Path == "" {
+			return "", false // the base itself is the mutex; nothing below it
+		}
+		return lock.Path, true
+	}
+	return strings.CutPrefix(lock.Path, base.Path+".")
+}
+
+func paramObjs(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// intersectIDs intersects the mapped lock lists of all call sites.
+func intersectIDs(sites []callSite) []LockID {
+	out := append([]LockID(nil), sites[0].mapped...)
+	for _, s := range sites[1:] {
+		kept := out[:0]
+		for _, l := range out {
+			if containsID(s.mapped, l) {
+				kept = append(kept, l)
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+func containsID(list []LockID, l LockID) bool {
+	for _, x := range list {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// freshLocals collects fn's locals that are only ever bound to freshly
+// constructed values — composite literals, &composite, or new() — and so
+// cannot be shared with another goroutine yet. A variable also assigned
+// from anything else (an index, a field, a call) is disqualified.
+func freshLocals(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	unfresh := make(map[types.Object]bool)
+	bind := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || isPackageLevel(obj) {
+			return
+		}
+		if isFreshExpr(info, rhs) {
+			fresh[obj] = true
+		} else {
+			unfresh[obj] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					bind(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					bind(name, n.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					bind(id, n.X)
+				}
+			}
+		}
+		return true
+	})
+	for obj := range unfresh {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// Package a is the lockflow unit-test corpus: a helper whose entry lock
+// is inferred from its call sites, a declared-requires helper, an
+// acquisition-order edge, and a constructor whose receiver stays fresh.
+package a
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	inner sync.Mutex
+	n     int
+}
+
+// Every in-package call site holds b.mu, so the closure infers it as
+// touch's entry set.
+func (b *box) touch() { b.n++ }
+
+func (b *box) one() {
+	b.mu.Lock()
+	b.touch()
+	b.mu.Unlock()
+}
+
+func (b *box) two() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.touch()
+}
+
+// Caller holds b.mu.
+func (b *box) declared() { b.n-- }
+
+// ordered acquires inner while holding mu: one edge in the lock graph.
+func (b *box) ordered() {
+	b.mu.Lock()
+	b.inner.Lock()
+	b.inner.Unlock()
+	b.mu.Unlock()
+}
+
+// newBox only ever runs on a fresh, unpublished receiver.
+func newBox() *box {
+	b := &box{}
+	b.seed()
+	return b
+}
+
+func (b *box) seed() { b.n = 1 }

@@ -1,0 +1,308 @@
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// walker threads a lock set through one function body in statement order:
+// the CFG-lite. Branches fork a copy of the set; join points merge by
+// intersection (a lock counts as held only if every non-terminating path
+// holds it), so the walk under-approximates the held set and the analyzers
+// err toward reporting. Function literals are never walked inline: their
+// bodies run at times the enclosing flow cannot see, so they are queued and
+// walked as separate functions with an empty entry set.
+type walker struct {
+	info *types.Info
+
+	// onNode observes every expression node with the set held at that
+	// point.
+	onNode func(n ast.Node, held *Set)
+	// onAcquire observes each acquisition with the set held just before.
+	onAcquire func(a *Acq, held *Set)
+	// onCall observes every synchronous call expression (lock-method calls
+	// and go/defer targets excluded) with the current held set.
+	onCall func(call *ast.CallExpr, held *Set)
+
+	pending []*ast.FuncLit
+}
+
+// walkFunc walks body with the entry set, then drains queued function
+// literals with empty entry sets.
+func (w *walker) walkFunc(body *ast.BlockStmt, entry *Set) {
+	w.stmts(body.List, entry)
+	for len(w.pending) > 0 {
+		lit := w.pending[0]
+		w.pending = w.pending[1:]
+		w.stmts(lit.Body.List, NewSet())
+	}
+}
+
+// stmts walks a statement list, returning the exit set and whether every
+// path through the list terminates (return, panic, goto).
+func (w *walker) stmts(list []ast.Stmt, ls *Set) (*Set, bool) {
+	for _, s := range list {
+		var term bool
+		ls, term = w.stmt(s, ls)
+		if term {
+			return ls, true
+		}
+	}
+	return ls, false
+}
+
+func (w *walker) stmt(s ast.Stmt, ls *Set) (*Set, bool) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return ls, false
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, ls)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, ls)
+
+	case *ast.ExprStmt:
+		w.visitExprs(s, ls)
+		w.applyLockEvents(s, ls)
+		return ls, isPanicCall(w.info, s.X)
+
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		w.visitExprs(s, ls)
+		w.applyLockEvents(s, ls)
+		return ls, false
+
+	case *ast.ReturnStmt:
+		w.visitExprs(s, ls)
+		return ls, true
+
+	case *ast.BranchStmt:
+		// break, continue, and goto all transfer control away: nothing
+		// falls through to the next statement, so for straight-line flow
+		// they terminate like a return. Loop re-entry is already
+		// approximated by the entry-intersect-body-exit rule; letting a
+		// continue path merge forward would wrongly drain locks released
+		// only on that path. fallthrough alone keeps flowing.
+		return ls, s.Tok != token.FALLTHROUGH
+
+	case *ast.DeferStmt:
+		w.deferStmt(s, ls)
+		return ls, false
+
+	case *ast.GoStmt:
+		// Arguments evaluate synchronously; the spawned body runs
+		// concurrently and must not inherit the caller's lock set, so a
+		// literal target is queued for an empty-entry walk and a named
+		// target contributes no call-summary edges.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.pending = append(w.pending, lit)
+		} else {
+			w.visitExprs(s.Call.Fun, ls)
+		}
+		for _, arg := range s.Call.Args {
+			w.visitExprs(arg, ls)
+		}
+		return ls, false
+
+	case *ast.IfStmt:
+		ls, _ = w.stmt(s.Init, ls)
+		w.visitExprs(s.Cond, ls)
+		thenExit, thenTerm := w.stmt(s.Body, ls.clone())
+		elseExit, elseTerm := ls.clone(), false
+		if s.Else != nil {
+			elseExit, elseTerm = w.stmt(s.Else, ls.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return ls, true
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			thenExit.intersect(elseExit)
+			return thenExit, false
+		}
+
+	case *ast.ForStmt:
+		ls, _ = w.stmt(s.Init, ls)
+		w.visitExprs(s.Cond, ls)
+		bodyExit, _ := w.stmts(s.Body.List, ls.clone())
+		bodyExit, _ = w.stmt(s.Post, bodyExit)
+		// The loop may run zero times, so the after set is the entry set
+		// intersected with the body's exit set.
+		after := ls.clone()
+		after.intersect(bodyExit)
+		return after, false
+
+	case *ast.RangeStmt:
+		w.visitExprs(s.X, ls)
+		w.visitExprs(s.Key, ls)
+		w.visitExprs(s.Value, ls)
+		bodyExit, _ := w.stmts(s.Body.List, ls.clone())
+		after := ls.clone()
+		after.intersect(bodyExit)
+		return after, false
+
+	case *ast.SwitchStmt:
+		ls, _ = w.stmt(s.Init, ls)
+		w.visitExprs(s.Tag, ls)
+		return w.clauses(s.Body.List, ls, true)
+
+	case *ast.TypeSwitchStmt:
+		ls, _ = w.stmt(s.Init, ls)
+		w.visitExprs(s.Assign, ls)
+		return w.clauses(s.Body.List, ls, true)
+
+	case *ast.SelectStmt:
+		// One clause always runs (an empty select blocks forever), so the
+		// entry set never joins the merge.
+		return w.clauses(s.Body.List, ls, false)
+
+	default:
+		w.visitExprs(s, ls)
+		return ls, false
+	}
+}
+
+// clauses walks switch/select clause bodies, each from a copy of the entry
+// set, and merges the non-terminating exits by intersection. For switches
+// (mergeEntry) the entry set joins the merge unless a default clause makes
+// the switch total.
+func (w *walker) clauses(list []ast.Stmt, ls *Set, mergeEntry bool) (*Set, bool) {
+	var exits []*Set
+	hasDefault := false
+	for _, c := range list {
+		var body []ast.Stmt
+		branch := ls.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.visitExprs(e, ls)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			branch, _ = w.stmt(c.Comm, branch)
+			body = c.Body
+		}
+		if exit, term := w.stmts(body, branch); !term {
+			exits = append(exits, exit)
+		}
+	}
+	if mergeEntry && !hasDefault {
+		exits = append(exits, ls)
+	}
+	if len(exits) == 0 {
+		return ls, len(list) > 0
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		merged.intersect(e)
+	}
+	return merged, false
+}
+
+// deferStmt models a deferred call. A deferred unlock pins its lock as
+// held-to-function-end; a deferred function literal is queued for an
+// empty-entry walk; anything else only has its operands observed.
+func (w *walker) deferStmt(s *ast.DeferStmt, ls *Set) {
+	if recv, acquire, _, ok := lockCall(w.info, s.Call); ok {
+		if acquire {
+			return // defer mu.Lock() is nonsense; leave the set alone
+		}
+		if id, resolved := Resolve(w.info, recv); resolved {
+			if a, held := ls.m[id]; held {
+				a.deferRelease = true
+			}
+		}
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		w.pending = append(w.pending, lit)
+	} else {
+		w.visitExprs(s.Call.Fun, ls)
+	}
+	for _, arg := range s.Call.Args {
+		w.visitExprs(arg, ls)
+	}
+}
+
+// visitExprs observes every node under n with the current set, queueing
+// function literals instead of descending into them, and reporting
+// synchronous non-lock calls to onCall.
+func (w *walker) visitExprs(n ast.Node, ls *Set) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if lit, ok := x.(*ast.FuncLit); ok {
+			w.pending = append(w.pending, lit)
+			return false
+		}
+		if w.onNode != nil {
+			w.onNode(x, ls)
+		}
+		if call, ok := x.(*ast.CallExpr); ok && w.onCall != nil {
+			if _, _, _, isLock := lockCall(w.info, call); !isLock {
+				w.onCall(call, ls)
+			}
+		}
+		return true
+	})
+}
+
+// applyLockEvents applies the statement's Lock/Unlock calls to the set in
+// source order.
+func (w *walker) applyLockEvents(n ast.Node, ls *Set) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, acquire, read, ok := lockCall(w.info, call)
+		if !ok {
+			return true
+		}
+		id, resolved := Resolve(w.info, recv)
+		if !resolved {
+			return true
+		}
+		if acquire {
+			a := &Acq{Lock: id, Key: KeyOf(id), Pos: call.Pos(), Read: read}
+			if w.onAcquire != nil {
+				w.onAcquire(a, ls)
+			}
+			ls.add(a)
+		} else if a, held := ls.m[id]; held && !a.deferRelease {
+			ls.remove(id)
+		}
+		return true
+	})
+}
+
+// isPanicCall reports whether e is a direct call to the builtin panic.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rld/internal/lint/linttest"
+	"rld/internal/lint/lockorder"
+)
+
+func TestBadCorpus(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/bad", "internal/netrt")
+}
+
+func TestGoodCorpus(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/good", "internal/netrt")
+}

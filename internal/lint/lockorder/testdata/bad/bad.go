@@ -1,0 +1,94 @@
+// Package a is the lockorder known-bad corpus: acquisition orders that
+// close a cycle in the lock graph.
+package a
+
+import "sync"
+
+// Shape 1: a two-lock inversion between two functions.
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (x *ab) forward() {
+	x.a.Lock()
+	x.b.Lock() // want "lock-order cycle"
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+func (x *ab) backward() {
+	x.b.Lock()
+	x.a.Lock() // want "lock-order cycle"
+	x.a.Unlock()
+	x.b.Unlock()
+}
+
+// Shape 2: re-acquiring the same lock occurrence — a self-deadlock.
+type selfy struct {
+	mu sync.Mutex
+}
+
+func (s *selfy) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want "already held"
+	s.mu.Unlock()
+}
+
+// Shape 3: a three-lock rotation, each pair locally plausible.
+type trio struct {
+	l1 sync.Mutex
+	l2 sync.Mutex
+	l3 sync.Mutex
+}
+
+func (t *trio) one() {
+	t.l1.Lock()
+	t.l2.Lock() // want "lock-order cycle"
+	t.l2.Unlock()
+	t.l1.Unlock()
+}
+
+func (t *trio) two() {
+	t.l2.Lock()
+	t.l3.Lock() // want "lock-order cycle"
+	t.l3.Unlock()
+	t.l2.Unlock()
+}
+
+func (t *trio) three() {
+	t.l3.Lock()
+	t.l1.Lock() // want "lock-order cycle"
+	t.l1.Unlock()
+	t.l3.Unlock()
+}
+
+// Shape 4: the inversion hides one call-summary hop away.
+type hop struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (h *hop) lockInner() {
+	h.inner.Lock()
+	h.inner.Unlock()
+}
+
+// A lock-free call site keeps lockInner's inferred entry set empty, so
+// the edge below genuinely comes from the call-summary hop.
+func (h *hop) plain() {
+	h.lockInner()
+}
+
+func (h *hop) viaHelper() {
+	h.outer.Lock()
+	h.lockInner() // want "lock-order cycle"
+	h.outer.Unlock()
+}
+
+func (h *hop) direct() {
+	h.inner.Lock()
+	h.outer.Lock() // want "lock-order cycle"
+	h.outer.Unlock()
+	h.inner.Unlock()
+}

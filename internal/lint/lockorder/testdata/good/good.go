@@ -1,0 +1,56 @@
+// Package a is the lockorder known-good corpus: consistent global order,
+// release-before-acquire, and goroutines that start with an empty lock
+// set.
+package a
+
+import "sync"
+
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// The same a-then-b order on every path, direct and deferred.
+func (x *ab) first() {
+	x.a.Lock()
+	x.b.Lock()
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+func (x *ab) second() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock()
+	defer x.b.Unlock()
+}
+
+// Releasing before acquiring the other lock orders nothing.
+func (x *ab) staged() {
+	x.b.Lock()
+	x.b.Unlock()
+	x.a.Lock()
+	x.a.Unlock()
+}
+
+// A spawned goroutine does not inherit the spawner's holds: were it
+// otherwise, holding b across the go statement would invert first()'s
+// order.
+func (x *ab) spawn() {
+	x.b.Lock()
+	go func() {
+		x.a.Lock()
+		x.b.Lock()
+		x.b.Unlock()
+		x.a.Unlock()
+	}()
+	x.b.Unlock()
+}
+
+// Sibling instances of the same lock class are not an ordering fact.
+func couple(left, right *ab) {
+	left.a.Lock()
+	right.a.Lock()
+	right.a.Unlock()
+	left.a.Unlock()
+}

@@ -1,0 +1,21 @@
+// Package a exercises the comma-separated analyzer list in
+// //rldlint:allow directives: one directive can suppress several
+// analyzers' findings on the same statement, and a list naming only some
+// of them leaves the rest reported.
+package a
+
+func flagme() {}
+
+func listBoth() {
+	//rldlint:allow fake,fake2 -- one directive suppresses both analyzers
+	flagme()
+	flagme() // both analyzers must still report this one
+}
+
+func listPartial() {
+	flagme() //rldlint:allow fake -- fake2 is not listed and must still report
+}
+
+func listSpaced() {
+	flagme() //rldlint:allow fake, fake2 -- spaces after commas parse too
+}

@@ -84,6 +84,11 @@ type workerProc struct {
 	// in flight per worker, matching the worker's single-threaded loop).
 	callMu sync.Mutex
 
+	// notify is the dispatcher's 1-buffered doorbell. The channel itself
+	// is set at construction and never replaced, so sends and receives
+	// need no lock; only the queue state it signals (jobs/head) does.
+	notify chan struct{}
+
 	mu sync.Mutex // guards everything below
 	// gen increments on every (re)spawn; stale exit/error handlers carry
 	// the gen they observed so they cannot take down a respawned worker.
@@ -104,11 +109,10 @@ type workerProc struct {
 	// jobs[head:] is the node's FIFO work queue — unbounded, like the
 	// engine's inbox+overflow pair collapsed into one ring, so a
 	// dispatcher forwarding to a saturated peer can never deadlock.
-	jobs   []*netMsg
-	head   int
-	notify chan struct{} // 1-buffered doorbell for the dispatcher
-	quit   chan struct{} // closes to stop the dispatcher
-	slow   float64       // capacity factor in (0,1]
+	jobs []*netMsg
+	head int
+	quit chan struct{} // closes to stop the dispatcher
+	slow float64       // capacity factor in (0,1]
 }
 
 // procKiller adapts *os.Process to the killable interface (test seam).
@@ -178,11 +182,11 @@ type Cluster struct {
 	// waitCh/waitMu/waiters: event-driven pending notifier (see
 	// Engine.AwaitPending; identical protocol).
 	waitMu  sync.Mutex
-	waitCh  chan struct{}
+	waitCh  chan struct{} //rldlint:guardedby waitMu
 	waiters atomic.Int32
 
 	snapMu sync.Mutex
-	snaps  []*stream.Batch
+	snaps  []*stream.Batch //rldlint:guardedby snapMu
 
 	hbQuit chan struct{}
 	hbDone chan struct{}
@@ -191,15 +195,15 @@ type Cluster struct {
 	stopDone chan struct{}
 
 	mu        sync.Mutex
-	ingested  int64
-	batches   int64
-	planUse   map[string]int64
-	switches  int
-	lastKey   string
-	rateCount map[string]float64
-	started   bool
-	stopped   bool
-	plans     []internedPlan
+	ingested  int64              //rldlint:guardedby mu
+	batches   int64              //rldlint:guardedby mu
+	planUse   map[string]int64   //rldlint:guardedby mu
+	switches  int                //rldlint:guardedby mu
+	lastKey   string             //rldlint:guardedby mu
+	rateCount map[string]float64 //rldlint:guardedby mu
+	started   bool               //rldlint:guardedby mu
+	stopped   bool               //rldlint:guardedby mu
+	plans     []internedPlan     //rldlint:guardedby mu
 }
 
 type internedPlan struct {
@@ -420,7 +424,10 @@ func (c *Cluster) Start() {
 	}
 	c.started = true
 	for _, wp := range c.workers {
-		go c.dispatcher(wp, wp.quit)
+		wp.mu.Lock()
+		quit := wp.quit
+		wp.mu.Unlock()
+		go c.dispatcher(wp, quit)
 	}
 	go c.heartbeatLoop()
 }

@@ -20,7 +20,7 @@ const workerEnv = "RLD_NETRT_WORKER"
 // reaped, so tests can assert no workers leak (see LiveWorkers).
 var (
 	procMu    sync.Mutex
-	liveProcs = map[int]string{} // pid → description
+	liveProcs = map[int]string{} //rldlint:guardedby procMu -- pid → description
 )
 
 func registerProc(pid int, desc string) {

@@ -80,13 +80,13 @@ type Log struct {
 	mu       sync.Mutex
 	syncCond *sync.Cond
 
-	f    *os.File // active segment
-	seg  uint64   // active segment index
-	segs []uint64 // retained segment indexes, ascending (active last)
+	f    *os.File //rldlint:guardedby mu -- active segment
+	seg  uint64   //rldlint:guardedby mu -- active segment index
+	segs []uint64 //rldlint:guardedby mu -- retained segment indexes, ascending (active last)
 	// barrier is the segment index opened by the most recent Barrier;
 	// Truncate deletes every segment before it. 0 = no barrier yet.
-	barrier uint64
-	closed  bool
+	barrier uint64 //rldlint:guardedby mu
+	closed  bool   //rldlint:guardedby mu
 
 	// Group-commit state: appendGen counts appends, syncedGen is the
 	// generation the last completed fsync covered, syncing marks an fsync
